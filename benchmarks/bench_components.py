@@ -1,0 +1,68 @@
+"""Component micro-benchmarks (classic pytest-benchmark timing).
+
+Not a paper figure — these track the throughput of the substrates so
+performance regressions in the simulator, generator, profiler or
+clustering show up in CI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import hierarchical_cluster, kmeans
+from repro.config import GPUConfig
+from repro.profiler import profile_launch
+from repro.sim import GPUSimulator
+from repro.workloads import get_workload
+
+
+def test_simulator_throughput(benchmark):
+    """Warp instructions simulated per second on one lbm launch."""
+    kernel = get_workload("lbm", scale=0.03125)
+    launch = kernel.launches[0]
+    sim = GPUSimulator(GPUConfig())
+    launch.block(0)  # prime the generator caches
+
+    result = benchmark.pedantic(
+        lambda: sim.run_launch(launch), rounds=3, iterations=1
+    )
+    insts = result.issued_warp_insts
+    benchmark.extra_info["warp_insts"] = insts
+    benchmark.extra_info["insts_per_sec"] = insts / benchmark.stats["mean"]
+    assert result.machine_ipc > 0
+
+
+def test_trace_generation_throughput(benchmark):
+    """Thread blocks synthesized per second."""
+    kernel = get_workload("conv", scale=0.0625)
+    launch = kernel.launches[0]
+
+    def generate_100():
+        launch._cache.clear()
+        for tb in range(100):
+            launch.block(tb)
+
+    benchmark(generate_100)
+
+
+def test_functional_profiling_throughput(benchmark):
+    kernel = get_workload("kmeans", scale=0.0625)
+    launch = kernel.launches[0]
+    profile = benchmark(lambda: profile_launch(launch))
+    assert profile.total_warp_insts > 0
+
+
+def test_hierarchical_clustering_speed(benchmark):
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(400, 4))
+    result = benchmark(lambda: hierarchical_cluster(points, 0.5))
+    assert result.num_clusters >= 1
+
+
+def test_kmeans_speed(benchmark):
+    rng = np.random.default_rng(1)
+    points = rng.normal(size=(300, 15))
+    result = benchmark(
+        lambda: kmeans(points, 10, rng=np.random.default_rng(2))
+    )
+    assert result.k == 10

@@ -1,0 +1,75 @@
+"""Figs. 12 & 13 — sensitivity to hardware configuration.
+
+TBPoint's one-time profile is reused across machines with different warp
+counts (W) and SM counts (S); only epoch clustering and the timing runs
+are redone.  Prints per-kernel sampling error (Fig. 12) and sample size
+(Fig. 13) for each configuration.  Paper claims to reproduce: the
+maximum error stays under ~14%, and lower occupancy tends to give
+smaller samples for regular kernels but longer warming (larger samples)
+for cache-sensitive irregular ones.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import SENSITIVITY_CONFIGS, run_sensitivity
+from repro.analysis.report import render_table
+from repro.config import ExperimentConfig
+
+from conftest import bench_kernels, emit
+
+#: Sensitivity multiplies every kernel by four configurations, so it
+#: defaults to a representative subset; set REPRO_BENCH_KERNELS to
+#: override (or REPRO_BENCH_SENSITIVITY_ALL=1 for all 12).
+_DEFAULT_SUBSET = ("bfs", "sssp", "lbm", "hotspot", "kmeans", "conv")
+
+
+def _kernels() -> tuple[str, ...]:
+    if os.environ.get("REPRO_BENCH_SENSITIVITY_ALL"):
+        return bench_kernels()
+    if os.environ.get("REPRO_BENCH_KERNELS"):
+        return bench_kernels()
+    return _DEFAULT_SUBSET
+
+
+def test_fig12_fig13_sensitivity(benchmark):
+    experiment = ExperimentConfig(
+        scale=float(os.environ.get("REPRO_BENCH_SCALE", "0.0625"))
+    )
+
+    points = benchmark.pedantic(
+        run_sensitivity,
+        args=(_kernels(),),
+        kwargs={"experiment": experiment},
+        rounds=1,
+        iterations=1,
+    )
+
+    configs = [f"W{w}S{s}" for w, s in SENSITIVITY_CONFIGS]
+    by_kernel: dict[str, dict[str, object]] = {}
+    for p in points:
+        by_kernel.setdefault(p.kernel, {})[p.label] = p
+
+    err_rows, size_rows = [], []
+    for kernel, cfgs in by_kernel.items():
+        err_rows.append(
+            (kernel, *[f"{cfgs[c].error:.2%}" for c in configs])
+        )
+        size_rows.append(
+            (kernel, *[f"{cfgs[c].sample_size:.2%}" for c in configs])
+        )
+    emit(render_table(
+        ["kernel", *configs], err_rows,
+        title=f"Fig. 12 — TBPoint error per hardware config "
+              f"(scale={experiment.scale})",
+    ))
+    emit(render_table(
+        ["kernel", *configs], size_rows,
+        title="Fig. 13 — TBPoint sample size per hardware config",
+    ))
+
+    # Paper: "the maximum error rate is less than 14%".
+    assert max(p.error for p in points) < 0.14

@@ -1,0 +1,60 @@
+"""Fig. 8 — regular vs irregular kernel classification.
+
+Fig. 8 plots thread-block size ratios against thread-block ID for a
+regular and an irregular kernel.  This bench regenerates the underlying
+series for every benchmark, prints their summary statistics, and checks
+the empirical classifier agrees with the Table VI types.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.kernel_types import block_size_ratios, classify_kernel
+from repro.analysis.report import render_series, render_table
+from repro.profiler import profile_kernel
+from repro.workloads import benchmark_info, get_workload
+
+from conftest import bench_kernels, emit
+
+
+def test_fig8_classification(benchmark, experiment):
+    def classify_all():
+        rows = []
+        series = {}
+        for name in bench_kernels():
+            kernel = get_workload(name, experiment.scale, experiment.seed)
+            profile = profile_kernel(kernel)
+            ratios = block_size_ratios(profile)
+            predicted = classify_kernel(profile)
+            rows.append(
+                (
+                    name,
+                    benchmark_info(name).kind,
+                    predicted,
+                    f"{ratios.mean():.2f}",
+                    f"{ratios.std():.2f}",
+                    f"{ratios.max():.2f}",
+                )
+            )
+            series[name] = ratios
+        return rows, series
+
+    rows, series = benchmark.pedantic(classify_all, rounds=1, iterations=1)
+    emit(render_table(
+        ["kernel", "table VI", "classified", "mean ratio", "std", "max"],
+        rows,
+        title="Fig. 8 — thread-block size-ratio statistics and class",
+    ))
+    # The two panels of Fig. 8: a regular and an irregular example.
+    for example in ("conv", "bfs"):
+        if example in series:
+            ratios = series[example]
+            emit(render_series(
+                f"Fig. 8 series ({example})",
+                list(range(len(ratios))),
+                list(ratios),
+            ))
+
+    mismatches = [r[0] for r in rows if r[1] != r[2]]
+    assert not mismatches, f"classifier disagrees with Table VI: {mismatches}"

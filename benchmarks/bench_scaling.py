@@ -1,0 +1,39 @@
+"""Scale sensitivity (beyond the paper; supports EXPERIMENTS.md §Figs. 9-10).
+
+Shows that TBPoint's sample size shrinks as workloads approach paper
+scale (warming and region-tail overheads amortize over more occupancy
+waves per launch), while the error stays flat or improves.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.report import render_table
+from repro.analysis.scaling import run_scaling
+
+from conftest import emit
+
+KERNEL = os.environ.get("REPRO_BENCH_SCALING_KERNEL", "conv")
+SCALES = (0.03125, 0.0625, 0.125, 0.25)
+
+
+def test_sample_size_amortizes_with_scale(benchmark):
+    points = benchmark.pedantic(
+        run_scaling, args=(KERNEL, SCALES), rounds=1, iterations=1
+    )
+    emit(render_table(
+        ["scale", "blocks", "warp insts", "full IPC", "error", "sample"],
+        [
+            (f"{p.scale:g}", p.num_blocks, f"{p.total_warp_insts:,}",
+             f"{p.full_ipc:.3f}", f"{p.error:.2%}", f"{p.sample_size:.2%}")
+            for p in points
+        ],
+        title=f"TBPoint vs workload scale ({KERNEL})",
+    ))
+    # The central claim: sample size decreases (or at worst stays flat)
+    # as the workload grows toward paper scale.
+    sizes = [p.sample_size for p in points]
+    assert sizes[-1] <= sizes[0] * 1.1
+    # Accuracy never collapses at any scale.
+    assert max(p.error for p in points) < 0.08

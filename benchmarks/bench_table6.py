@@ -1,0 +1,53 @@
+"""Table VI — the evaluated benchmarks.
+
+Regenerates the benchmark inventory (suite, type, launch count,
+thread-block count) from the synthetic generators and checks the
+paper-scale block counts stay calibrated to Table VI.  Also measures
+trace-generation and functional-profiling throughput (the one-time
+GPUOcelot-role cost the paper amortizes).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.profiler import profile_kernel
+from repro.workloads import TABLE_VI, get_workload
+
+from conftest import emit
+
+
+def test_table6_inventory(benchmark, experiment):
+    def build_all():
+        rows = []
+        for info in TABLE_VI:
+            kernel = get_workload(info.name, experiment.scale, experiment.seed)
+            profile = profile_kernel(kernel)
+            rows.append(
+                (
+                    info.name,
+                    info.suite,
+                    info.kind,
+                    info.launches,
+                    info.blocks,
+                    kernel.num_blocks,
+                    f"{profile.total_warp_insts:,}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    emit(render_table(
+        ["kernel", "suite", "type", "launches", "TBs (paper)",
+         f"TBs (scale={experiment.scale})", "warp insts"],
+        rows,
+        title="Table VI — evaluated benchmarks",
+    ))
+    assert len(rows) == 12
+
+
+def test_profiling_throughput(benchmark):
+    """Blocks profiled per second (the one-time functional pass)."""
+    kernel = get_workload("lbm", scale=0.0625)
+
+    result = benchmark(lambda: profile_kernel(kernel))
+    assert result.total_warp_insts > 0

@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures and prints
+its rows (run with ``-s`` or check the captured output).  Environment
+knobs:
+
+* ``REPRO_BENCH_SCALE`` — workload scale factor (default 0.125; 1.0 is
+  paper scale and takes correspondingly longer);
+* ``REPRO_BENCH_KERNELS`` — comma-separated subset of benchmarks for the
+  per-kernel sweeps (default: all 12).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.workloads import ALL_KERNELS
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.125"))
+
+
+def bench_kernels() -> tuple[str, ...]:
+    raw = os.environ.get("REPRO_BENCH_KERNELS", "")
+    if not raw:
+        return ALL_KERNELS
+    names = tuple(n.strip() for n in raw.split(",") if n.strip())
+    unknown = set(names) - set(ALL_KERNELS)
+    if unknown:
+        raise ValueError(f"unknown kernels in REPRO_BENCH_KERNELS: {unknown}")
+    return names
+
+
+@pytest.fixture(scope="session")
+def experiment() -> ExperimentConfig:
+    return ExperimentConfig(scale=bench_scale())
+
+
+def emit(text: str) -> None:
+    """Print a bench's regenerated table/series (visible with -s and in
+    pytest's captured-output section)."""
+    print()
+    print(text)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: sample one GPGPU kernel with TBPoint.
+
+Builds the `hotspot` stencil kernel (Table VI), runs the full
+cycle-level simulation as the reference, then runs TBPoint and reports
+the two headline quantities of the paper: the sampling error (Fig. 9)
+and the total sample size (Fig. 10).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import get_workload, profile_kernel, run_tbpoint
+from repro.baselines import run_full
+
+
+def main() -> None:
+    # 1. Build the workload.  scale=1.0 reproduces Table VI's 1,849
+    #    thread blocks; smaller scales shrink the kernel for quick runs.
+    kernel = get_workload("hotspot", scale=1.0)
+    print(f"kernel: {kernel}")
+
+    # 2. One-time functional profiling (the GPUOcelot step): per-block
+    #    instruction and memory-request counts, hardware independent.
+    profile = profile_kernel(kernel)
+    print(
+        f"profiled {profile.num_launches} launch(es), "
+        f"{profile.total_warp_insts:,} warp instructions"
+    )
+
+    # 3. Reference: the full cycle-level simulation.
+    full = run_full(kernel)
+    print(f"full simulation: IPC {full.overall_ipc:.3f} "
+          f"over {full.total_cycles:,} cycles")
+
+    # 4. TBPoint: inter-launch + intra-launch sampling.
+    tbp = run_tbpoint(kernel, profile=profile)
+    error = abs(tbp.overall_ipc - full.overall_ipc) / full.overall_ipc
+    print(f"TBPoint estimate: IPC {tbp.overall_ipc:.3f}")
+    print(f"sampling error: {error:.2%}")
+    print(f"total sample size: {tbp.sample_size:.2%} of warp instructions")
+
+    # 5. Where did the savings come from? (Fig. 11)
+    inter, intra = tbp.skip_breakdown()
+    print(f"skipped instructions: {inter:.0%} inter-launch, "
+          f"{intra:.0%} intra-launch")
+
+    # 6. The homogeneous-region table (Table III) of the one launch.
+    table = tbp.region_tables[0]
+    print(f"homogeneous regions: {table.num_regions}")
+    for region_id, start, end in table.rows():
+        print(f"  region {region_id}: TB {start} .. {end}")
+
+
+if __name__ == "__main__":
+    main()

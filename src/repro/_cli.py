@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Every experiment in the evaluation can be regenerated from the shell:
+
+* ``list`` — the Table VI benchmark inventory;
+* ``run KERNEL`` — Full vs Random vs Ideal-SimPoint vs TBPoint on one
+  kernel (one Fig. 9/10 row);
+* ``headline`` — the full Fig. 9 + Fig. 10 sweep with geomeans;
+* ``breakdown`` — Fig. 11's inter/intra skipped-instruction shares;
+* ``sensitivity`` — Figs. 12-13 hardware-configuration sweep;
+* ``model`` — Fig. 5's Markov/Monte-Carlo study;
+* ``table1`` — projected simulation times at measured throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.experiments import (
+    SENSITIVITY_CONFIGS,
+    run_fig5_model,
+    run_kernel_comparison,
+    run_sensitivity,
+    run_table1,
+)
+from repro.analysis.report import render_table
+from repro.config import ExperimentConfig
+from repro.core.estimates import geometric_mean
+from repro.core.pipeline import run_tbpoint
+from repro.profiler import profile_kernel
+from repro.workloads import ALL_KERNELS, TABLE_VI, get_workload
+
+
+def _experiment(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(scale=args.scale, seed=args.seed)
+
+
+def _kernels(args: argparse.Namespace) -> tuple[str, ...]:
+    if not args.kernels:
+        return ALL_KERNELS
+    names = tuple(args.kernels)
+    unknown = set(names) - set(ALL_KERNELS)
+    if unknown:
+        raise SystemExit(f"unknown kernels: {sorted(unknown)}")
+    return names
+
+
+def cmd_list(args: argparse.Namespace) -> None:
+    rows = [
+        (i.name, i.full_name, i.suite, i.kind, i.launches, i.blocks)
+        for i in TABLE_VI
+    ]
+    print(render_table(
+        ["name", "benchmark", "suite", "type", "launches", "thread blocks"],
+        rows,
+        title="Table VI — evaluated benchmarks (paper-scale counts)",
+    ))
+
+
+def _comparison_row(name: str, experiment: ExperimentConfig):
+    c = run_kernel_comparison(name, experiment)
+    return c, (
+        name,
+        c.kind,
+        f"{c.full_ipc:.3f}",
+        f"{c.random_error:.2%}",
+        f"{c.simpoint_error:.2%}",
+        f"{c.tbpoint_error:.2%}",
+        f"{c.random_sample_size:.2%}",
+        f"{c.simpoint_sample_size:.2%}",
+        f"{c.tbpoint_sample_size:.2%}",
+    )
+
+
+_COMPARISON_HEADERS = [
+    "kernel", "type", "full IPC", "err(rnd)", "err(sp)", "err(tbp)",
+    "size(rnd)", "size(sp)", "size(tbp)",
+]
+
+
+def cmd_run(args: argparse.Namespace) -> None:
+    _, row = _comparison_row(args.kernel, _experiment(args))
+    print(render_table(_COMPARISON_HEADERS, [row]))
+
+
+def cmd_headline(args: argparse.Namespace) -> None:
+    experiment = _experiment(args)
+    comparisons, rows = [], []
+    for name in _kernels(args):
+        c, row = _comparison_row(name, experiment)
+        comparisons.append(c)
+        rows.append(row)
+        print(render_table(_COMPARISON_HEADERS, [row]))
+    print()
+    print(render_table(
+        ["technique", "geomean error", "geomean sample"],
+        [
+            ("random",
+             f"{geometric_mean(c.random_error for c in comparisons):.2%}",
+             f"{geometric_mean(c.random_sample_size for c in comparisons):.2%}"),
+            ("ideal-simpoint",
+             f"{geometric_mean(c.simpoint_error for c in comparisons):.2%}",
+             f"{geometric_mean(c.simpoint_sample_size for c in comparisons):.2%}"),
+            ("tbpoint",
+             f"{geometric_mean(c.tbpoint_error for c in comparisons):.2%}",
+             f"{geometric_mean(c.tbpoint_sample_size for c in comparisons):.2%}"),
+        ],
+        title="Figs. 9-10 headline geometric means",
+    ))
+
+
+def cmd_breakdown(args: argparse.Namespace) -> None:
+    experiment = _experiment(args)
+    rows = []
+    for name in _kernels(args):
+        kernel = get_workload(name, experiment.scale, experiment.seed)
+        tbp = run_tbpoint(kernel, profile=profile_kernel(kernel))
+        inter, intra = tbp.skip_breakdown()
+        rows.append((name, f"{inter:.0%}", f"{intra:.0%}",
+                     f"{tbp.sample_size:.2%}"))
+    print(render_table(
+        ["kernel", "inter-launch", "intra-launch", "sample"],
+        rows,
+        title="Fig. 11 — skipped-instruction breakdown",
+    ))
+
+
+def cmd_sensitivity(args: argparse.Namespace) -> None:
+    experiment = _experiment(args)
+    points = run_sensitivity(_kernels(args), experiment=experiment)
+    configs = [f"W{w}S{s}" for w, s in SENSITIVITY_CONFIGS]
+    by_kernel: dict[str, dict] = {}
+    for p in points:
+        by_kernel.setdefault(p.kernel, {})[p.label] = p
+    print(render_table(
+        ["kernel", *[f"err {c}" for c in configs],
+         *[f"size {c}" for c in configs]],
+        [
+            (k,
+             *[f"{cfgs[c].error:.2%}" for c in configs],
+             *[f"{cfgs[c].sample_size:.2%}" for c in configs])
+            for k, cfgs in by_kernel.items()
+        ],
+        title="Figs. 12-13 — hardware sensitivity",
+    ))
+
+
+def cmd_model(args: argparse.Namespace) -> None:
+    results = run_fig5_model(seed=args.seed)
+    print(render_table(
+        ["config", "mean IPC", "within 10%", "p95 deviation"],
+        [
+            (v.label, f"{v.mean_ipc:.4f}", f"{v.fraction_within(0.10):.2%}",
+             f"{np.percentile(v.relative_deviation, 95):.2%}")
+            for v in results
+        ],
+        title="Fig. 5 — Monte-Carlo IPC variation",
+    ))
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    rows = run_table1()
+    print(render_table(
+        ["benchmark", "GPU (ms)", "projected simulation", "slowdown"],
+        [
+            (r.benchmark, f"{r.gpu_ms:,.0f}", r.human_sim_time,
+             f"{r.slowdown:,.0f}x")
+            for r in rows
+        ],
+        title="Table I — projected simulation times",
+    ))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="TBPoint reproduction: regenerate the paper's experiments.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.125,
+        help="workload scale factor, 1.0 = paper scale (default 0.125)",
+    )
+    parser.add_argument("--seed", type=int, default=2014)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="Table VI benchmark inventory")
+
+    p = sub.add_parser("run", help="compare all techniques on one kernel")
+    p.add_argument("kernel", choices=ALL_KERNELS)
+
+    p = sub.add_parser("headline", help="Figs. 9-10 full sweep")
+    p.add_argument("kernels", nargs="*", help="subset (default all 12)")
+
+    p = sub.add_parser("breakdown", help="Fig. 11 inter/intra breakdown")
+    p.add_argument("kernels", nargs="*")
+
+    p = sub.add_parser("sensitivity", help="Figs. 12-13 hardware sweep")
+    p.add_argument("kernels", nargs="*")
+
+    sub.add_parser("model", help="Fig. 5 Markov/Monte-Carlo study")
+    sub.add_parser("table1", help="Table I projected simulation times")
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "headline": cmd_headline,
+    "breakdown": cmd_breakdown,
+    "sensitivity": cmd_sensitivity,
+    "model": cmd_model,
+    "table1": cmd_table1,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

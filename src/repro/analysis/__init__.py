@@ -1,0 +1,35 @@
+"""Experiment drivers and reporting for the paper's tables and figures."""
+
+from repro.analysis.kernel_types import block_size_ratios, classify_kernel
+from repro.analysis.experiments import (
+    ComparisonSummary,
+    KernelComparison,
+    SensitivityPoint,
+    run_fig5_model,
+    run_fig9_fig10,
+    run_kernel_comparison,
+    run_sensitivity,
+    run_table1,
+)
+from repro.analysis.launch_accuracy import LaunchAccuracy, launch_accuracy
+from repro.analysis.report import render_series, render_table
+from repro.analysis.scaling import ScalePoint, run_scaling
+
+__all__ = [
+    "block_size_ratios",
+    "classify_kernel",
+    "KernelComparison",
+    "ComparisonSummary",
+    "SensitivityPoint",
+    "run_kernel_comparison",
+    "run_fig9_fig10",
+    "run_sensitivity",
+    "run_fig5_model",
+    "run_table1",
+    "render_table",
+    "render_series",
+    "LaunchAccuracy",
+    "launch_accuracy",
+    "ScalePoint",
+    "run_scaling",
+]

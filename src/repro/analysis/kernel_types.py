@@ -1,0 +1,54 @@
+"""Regular/irregular kernel classification from thread-block sizes (Fig. 8).
+
+Fig. 8 plots the *thread-block size ratio* (block size normalized by the
+launch-population average) against thread-block ID: regular kernels show
+a small set of flat levels, irregular kernels a scattered cloud.  The
+classifier below captures that: a kernel is regular when its launches'
+size distributions are tightly quantized (low within-launch variation or
+very few distinct size levels)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.profiler.functional import KernelProfile, LaunchProfile
+
+#: Within-launch size CoV below which a launch counts as uniform.
+COV_THRESHOLD = 0.15
+
+#: Fraction of distinct (rounded) size levels below which a launch
+#: counts as quantized even if its CoV is high.
+DISTINCT_FRACTION = 0.05
+
+
+def block_size_ratios(profile: KernelProfile) -> np.ndarray:
+    """Concatenated thread-block size ratios across all launches —
+    the Y series of one Fig. 8 panel (X is the running thread-block ID)."""
+    return np.concatenate([p.block_size_ratio for p in profile.launches])
+
+
+def launch_is_regular(launch: LaunchProfile) -> bool:
+    """One launch is regular when its block sizes are uniform or take
+    only a handful of distinct levels."""
+    ratios = launch.block_size_ratio
+    cov = launch.block_size_cov
+    if cov < COV_THRESHOLD:
+        return True
+    distinct = len(np.unique(np.round(ratios, 2)))
+    return distinct / len(ratios) < DISTINCT_FRACTION
+
+
+def classify_kernel(profile: KernelProfile) -> str:
+    """Classify a kernel as ``"regular"`` or ``"irregular"`` — regular
+    when the majority of its launches are regular."""
+    votes = sum(launch_is_regular(p) for p in profile.launches)
+    return "regular" if votes * 2 >= profile.num_launches else "irregular"
+
+
+__all__ = [
+    "block_size_ratios",
+    "launch_is_regular",
+    "classify_kernel",
+    "COV_THRESHOLD",
+    "DISTINCT_FRACTION",
+]

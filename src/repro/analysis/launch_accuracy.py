@@ -1,0 +1,62 @@
+"""Per-launch prediction accuracy (finer-grained than Fig. 9).
+
+The paper evaluates whole-kernel IPC, but TBPoint's Table IV composition
+also yields a per-launch IPC prediction (each unsimulated launch
+inherits its representative's IPC).  This module compares those
+per-launch predictions against the full run's per-launch measurements —
+useful when a user cares about one launch's behaviour, and a stricter
+check of the inter-launch clustering than the kernel aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.full import FullRunResult
+from repro.core.estimates import KernelEstimate
+
+
+@dataclass(frozen=True)
+class LaunchAccuracy:
+    """Per-launch prediction errors of one TBPoint run."""
+
+    errors: np.ndarray  # relative |est - full| / full, per launch
+    simulated: np.ndarray  # bool per launch
+
+    @property
+    def max_error(self) -> float:
+        return float(self.errors.max())
+
+    @property
+    def mean_error(self) -> float:
+        return float(self.errors.mean())
+
+    @property
+    def mean_unsimulated_error(self) -> float:
+        """Error over launches whose IPC was *predicted* (inherited from
+        a representative) rather than measured — the pure inter-launch
+        extrapolation error."""
+        mask = ~self.simulated
+        if not mask.any():
+            return 0.0
+        return float(self.errors[mask].mean())
+
+
+def launch_accuracy(
+    estimate: KernelEstimate, full: FullRunResult
+) -> LaunchAccuracy:
+    """Compare a kernel estimate's per-launch IPCs against a full run."""
+    if len(estimate.launches) != len(full.launch_results):
+        raise ValueError("estimate and full run disagree on launch count")
+    errors = np.empty(len(estimate.launches))
+    simulated = np.empty(len(estimate.launches), dtype=bool)
+    for i, (est, ref) in enumerate(zip(estimate.launches, full.launch_results)):
+        full_ipc = ref.machine_ipc
+        errors[i] = abs(est.est_ipc - full_ipc) / full_ipc
+        simulated[i] = est.simulated
+    return LaunchAccuracy(errors=errors, simulated=simulated)
+
+
+__all__ = ["LaunchAccuracy", "launch_accuracy"]

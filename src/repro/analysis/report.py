@@ -1,0 +1,57 @@
+"""Plain-text rendering of tables and series for benches and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.4f}"
+        return f"{value:,.3f}" if abs(value) < 100 else f"{value:,.0f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_line(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Sequence, ys: Sequence[float], max_points: int = 12
+) -> str:
+    """Render a named (x, y) series compactly, subsampling long series."""
+    if len(xs) != len(ys):
+        raise ValueError("series length mismatch")
+    n = len(xs)
+    if n > max_points:
+        idx = [round(i * (n - 1) / (max_points - 1)) for i in range(max_points)]
+    else:
+        idx = range(n)
+    pairs = ", ".join(f"{xs[i]}:{ys[i]:.3g}" for i in idx)
+    return f"{name}: {pairs}"
+
+
+__all__ = ["render_table", "render_series"]

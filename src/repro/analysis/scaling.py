@@ -1,0 +1,76 @@
+"""Scale-sensitivity study (beyond the paper).
+
+EXPERIMENTS.md attributes the reduced-scale TBPoint sample sizes to
+warm-up overhead that amortizes at paper scale.  This driver makes that
+claim checkable: it runs TBPoint (against a full reference) on one
+kernel across workload scales and reports how error and sample size move
+as launches grow toward Table VI size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import run_full
+from repro.config import GPUConfig, SamplingConfig
+from repro.core.estimates import sampling_error
+from repro.core.pipeline import run_tbpoint
+from repro.profiler import profile_kernel
+from repro.sim import GPUSimulator
+from repro.workloads import get_workload
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """TBPoint accuracy/cost at one workload scale."""
+
+    kernel: str
+    scale: float
+    num_blocks: int
+    total_warp_insts: int
+    full_ipc: float
+    tbpoint_ipc: float
+    error: float
+    sample_size: float
+
+
+def run_scaling(
+    kernel_name: str,
+    scales: tuple[float, ...] = (0.0625, 0.125, 0.25, 0.5),
+    seed: int = 2014,
+    gpu: GPUConfig | None = None,
+    sampling: SamplingConfig | None = None,
+) -> list[ScalePoint]:
+    """Measure TBPoint error and sample size across workload scales.
+
+    Each scale gets its own full-simulation reference, so the cost grows
+    linearly with the largest scale; keep the list modest for big
+    kernels.
+    """
+    gpu = gpu or GPUConfig()
+    sampling = sampling or SamplingConfig()
+    points: list[ScalePoint] = []
+    for scale in scales:
+        kernel = get_workload(kernel_name, scale=scale, seed=seed)
+        profile = profile_kernel(kernel)
+        simulator = GPUSimulator(gpu)
+        full = run_full(kernel, gpu, simulator)
+        tbp = run_tbpoint(
+            kernel, gpu, sampling, profile=profile, simulator=simulator
+        )
+        points.append(
+            ScalePoint(
+                kernel=kernel_name,
+                scale=scale,
+                num_blocks=kernel.num_blocks,
+                total_warp_insts=profile.total_warp_insts,
+                full_ipc=full.overall_ipc,
+                tbpoint_ipc=tbp.overall_ipc,
+                error=sampling_error(tbp.overall_ipc, full.overall_ipc),
+                sample_size=tbp.sample_size,
+            )
+        )
+    return points
+
+
+__all__ = ["ScalePoint", "run_scaling"]

@@ -1,0 +1,101 @@
+"""Full-simulation reference runner.
+
+Runs every launch of a kernel through the timing simulator with no
+sampling, producing (a) the reference overall IPC that sampling errors
+are measured against and (b) the stream of fixed-instruction-count
+sampling units (per-unit IPC and BBV) that the Random and Ideal-SimPoint
+baselines operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GPUConfig
+from repro.sim.gpu import FixedUnitRecorder, GPUSimulator, LaunchResult, UnitRecord
+from repro.trace import KernelTrace
+
+
+@dataclass
+class FullRunResult:
+    """Result of a full (unsampled) kernel simulation."""
+
+    kernel_name: str
+    launch_results: list[LaunchResult]
+    units: list[UnitRecord]
+    unit_insts: int | None
+
+    @property
+    def total_warp_insts(self) -> int:
+        return sum(r.issued_warp_insts for r in self.launch_results)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(r.wall_cycles for r in self.launch_results)
+
+    @property
+    def overall_ipc(self) -> float:
+        """Machine-wide overall IPC (warp instructions / machine cycle);
+        equals the paper's per-SM sum when SMs are balanced."""
+        return self.total_warp_insts / max(1, self.total_cycles)
+
+    @property
+    def per_sm_ipc_sum(self) -> float:
+        """The paper's literal Fig. 9 metric, cycle-weighted over
+        launches: sum over SMs of instructions / busy cycles."""
+        num_sms = len(self.launch_results[0].per_sm_issued)
+        total = 0.0
+        for k in range(num_sms):
+            insts = sum(r.per_sm_issued[k] for r in self.launch_results)
+            cycles = sum(r.per_sm_busy_cycles[k] for r in self.launch_results)
+            if cycles:
+                total += insts / cycles
+        return total
+
+
+def run_full(
+    kernel: KernelTrace,
+    gpu: GPUConfig | None = None,
+    simulator: GPUSimulator | None = None,
+    unit_insts: int | None = None,
+    record_bbv: bool = True,
+) -> FullRunResult:
+    """Simulate every launch of ``kernel`` in full.
+
+    Parameters
+    ----------
+    unit_insts:
+        If given, slice the run into sampling units of this many
+        machine-wide warp instructions (units never span launches, since
+        launches are serialized and timed independently).  ``None``
+        skips unit recording (faster).
+    record_bbv:
+        Collect per-unit basic-block vectors (needed by Ideal-SimPoint,
+        not by Random).
+    """
+    gpu = gpu or GPUConfig()
+    simulator = simulator or GPUSimulator(gpu)
+
+    launch_results: list[LaunchResult] = []
+    units: list[UnitRecord] = []
+    for launch in kernel.launches:
+        recorder = None
+        if unit_insts is not None:
+            recorder = FixedUnitRecorder(
+                unit_insts=unit_insts,
+                num_bbs=launch.num_bbs,
+                record_bbv=record_bbv,
+            )
+        result = simulator.run_launch(launch, recorder=recorder)
+        launch_results.append(result)
+        if recorder is not None:
+            units.extend(recorder.units)
+    return FullRunResult(
+        kernel_name=kernel.name,
+        launch_results=launch_results,
+        units=units,
+        unit_insts=unit_insts,
+    )
+
+
+__all__ = ["FullRunResult", "run_full"]

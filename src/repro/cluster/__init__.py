@@ -1,0 +1,32 @@
+"""Clustering algorithms used by TBPoint and its baselines.
+
+* :func:`hierarchical_cluster` — agglomerative complete-linkage
+  clustering cut by a *distance threshold* sigma, "the maximum distance
+  between any two points in a cluster" (Section III).  Used for both
+  inter-launch feature vectors and intra-launch epoch vectors.
+* :func:`kmeans` / :func:`select_k_bic` — k-means++ with BIC model
+  selection, reimplementing the SimPoint tool for the Ideal-SimPoint
+  baseline (Section V-A).
+"""
+
+from repro.cluster.distance import normalize_columns, pairwise_euclidean
+from repro.cluster.hierarchical import ClusterResult, hierarchical_cluster
+from repro.cluster.kmeans import (
+    KMeansResult,
+    bic_score,
+    kmeans,
+    random_projection,
+    select_k_bic,
+)
+
+__all__ = [
+    "pairwise_euclidean",
+    "normalize_columns",
+    "hierarchical_cluster",
+    "ClusterResult",
+    "kmeans",
+    "KMeansResult",
+    "bic_score",
+    "select_k_bic",
+    "random_projection",
+]

@@ -1,0 +1,40 @@
+"""Distance and normalization helpers shared by the clustering code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pairwise_euclidean(points: np.ndarray) -> np.ndarray:
+    """Dense symmetric Euclidean distance matrix for an (n, d) array.
+
+    Uses the expanded form ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b so only
+    one (n, n) temporary is materialized; negative round-off is clamped
+    before the square root.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be 2-D (n, d)")
+    sq = np.einsum("ij,ij->i", points, points)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (points @ points.T)
+    np.maximum(d2, 0.0, out=d2)
+    np.fill_diagonal(d2, 0.0)
+    return np.sqrt(d2, out=d2)
+
+
+def normalize_columns(points: np.ndarray) -> np.ndarray:
+    """Divide each column by its mean (the paper's Eq. 2 normalization:
+    "each of which is normalized with its average value across all kernel
+    launches so that they have the same order of magnitude").
+
+    All-zero columns are left untouched.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be 2-D (n, d)")
+    means = points.mean(axis=0)
+    safe = np.where(means == 0.0, 1.0, means)
+    return points / safe
+
+
+__all__ = ["pairwise_euclidean", "normalize_columns"]

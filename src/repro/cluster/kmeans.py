@@ -1,0 +1,179 @@
+"""k-means with BIC model selection (the SimPoint tool, reimplemented).
+
+The Ideal-SimPoint baseline (Section V-A) clusters per-sampling-unit
+basic-block vectors exactly the way the original SimPoint tool does:
+random-project the BBVs to a low dimension, run k-means for a range of
+k, score each k with the Bayesian information criterion, and pick the
+smallest k whose score covers most of the BIC range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: SimPoint's default random-projection dimensionality.
+PROJECTION_DIMS = 15
+
+#: SimPoint's default BIC coverage: the smallest k whose BIC reaches
+#: this fraction of the best observed score range is selected.
+BIC_COVERAGE = 0.90
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """One k-means run: labels, centroids, within-cluster SSE."""
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    sse: float
+
+    @property
+    def k(self) -> int:
+        return len(self.centroids)
+
+
+def _init_plusplus(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding."""
+    n = len(points)
+    centroids = np.empty((k, points.shape[1]), dtype=np.float64)
+    centroids[0] = points[rng.integers(n)]
+    d2 = np.sum((points - centroids[0]) ** 2, axis=1)
+    for c in range(1, k):
+        total = d2.sum()
+        if total <= 0:
+            centroids[c:] = points[rng.integers(n, size=k - c)]
+            break
+        probs = d2 / total
+        centroids[c] = points[rng.choice(n, p=probs)]
+        d2 = np.minimum(d2, np.sum((points - centroids[c]) ** 2, axis=1))
+    return centroids
+
+
+def _assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid labels (vectorized, no (n, k, d) temporaries)."""
+    cross = points @ centroids.T
+    c2 = np.einsum("ij,ij->i", centroids, centroids)
+    return np.argmin(c2[None, :] - 2.0 * cross, axis=1)
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator | None = None,
+    max_iter: int = 100,
+    restarts: int = 3,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ seeding, best of ``restarts``."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be 2-D (n, d)")
+    n = len(points)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}]")
+    rng = rng or np.random.default_rng(0)
+
+    best: KMeansResult | None = None
+    for _ in range(restarts):
+        centroids = _init_plusplus(points, k, rng)
+        labels = _assign(points, centroids)
+        for _ in range(max_iter):
+            new_centroids = centroids.copy()
+            for c in range(k):
+                members = labels == c
+                if members.any():
+                    new_centroids[c] = points[members].mean(axis=0)
+                else:
+                    # Re-seed empty clusters at the farthest point.
+                    far = np.argmax(
+                        np.sum((points - centroids[labels]) ** 2, axis=1)
+                    )
+                    new_centroids[c] = points[far]
+            new_labels = _assign(points, new_centroids)
+            centroids = new_centroids
+            if np.array_equal(new_labels, labels):
+                labels = new_labels
+                break
+            labels = new_labels
+        sse = float(np.sum((points - centroids[labels]) ** 2))
+        if best is None or sse < best.sse:
+            best = KMeansResult(labels=labels, centroids=centroids, sse=sse)
+    assert best is not None
+    return best
+
+
+def bic_score(points: np.ndarray, result: KMeansResult) -> float:
+    """X-means-style BIC of a k-means clustering (spherical Gaussian
+    likelihood), as used by the SimPoint tool to pick k."""
+    points = np.asarray(points, dtype=np.float64)
+    n, d = points.shape
+    k = result.k
+    sizes = np.bincount(result.labels, minlength=k).astype(np.float64)
+    dof = max(n - k, 1)
+    variance = max(result.sse / (d * dof), 1e-12)
+    occupied = sizes > 0
+    loglik = float(
+        np.sum(sizes[occupied] * np.log(sizes[occupied]))
+        - n * np.log(n)
+        - n * d / 2.0 * np.log(2.0 * np.pi * variance)
+        - d * (n - k) / 2.0
+    )
+    num_params = k * (d + 1)
+    return loglik - num_params / 2.0 * np.log(n)
+
+
+def random_projection(
+    points: np.ndarray,
+    dims: int = PROJECTION_DIMS,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """SimPoint's random projection: multiply by a dense random matrix to
+    reduce high-dimensional BBVs to ``dims`` dimensions."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.shape[1] <= dims:
+        return points
+    rng = rng or np.random.default_rng(0)
+    proj = rng.uniform(-1.0, 1.0, size=(points.shape[1], dims))
+    return points @ proj
+
+
+def select_k_bic(
+    points: np.ndarray,
+    max_k: int,
+    rng: np.random.Generator | None = None,
+    coverage: float = BIC_COVERAGE,
+) -> KMeansResult:
+    """Run k-means for k = 1..max_k and return the run with the smallest
+    k whose BIC reaches ``coverage`` of the observed score range (the
+    SimPoint selection rule)."""
+    points = np.asarray(points, dtype=np.float64)
+    rng = rng or np.random.default_rng(0)
+    n = len(points)
+    max_k = max(1, min(max_k, n))
+
+    runs: list[KMeansResult] = []
+    scores: list[float] = []
+    for k in range(1, max_k + 1):
+        run = kmeans(points, k, rng=rng)
+        runs.append(run)
+        scores.append(bic_score(points, run))
+    score_arr = np.asarray(scores)
+    lo, hi = float(score_arr.min()), float(score_arr.max())
+    if hi == lo:
+        return runs[0]
+    cutoff = lo + coverage * (hi - lo)
+    chosen = int(np.argmax(score_arr >= cutoff))
+    return runs[chosen]
+
+
+__all__ = [
+    "kmeans",
+    "KMeansResult",
+    "bic_score",
+    "select_k_bic",
+    "random_projection",
+    "PROJECTION_DIMS",
+]

@@ -1,0 +1,41 @@
+"""TBPoint core: the paper's contribution.
+
+* :mod:`repro.core.features` — Eq. 2 inter-launch feature vectors;
+* :mod:`repro.core.interlaunch` — inter-launch clustering and
+  representative-launch selection (Section III);
+* :mod:`repro.core.epochs` — Eq. 4 epochs and Eq. 5 intra-feature
+  vectors / variation factors;
+* :mod:`repro.core.regions` — homogeneous-region identification and the
+  homogeneous-region table (Section IV-B1, Table III);
+* :mod:`repro.core.intralaunch` — homogeneous-region sampling: the
+  enter / warm / fast-forward / exit state machine driven by the
+  simulator's dispatch hooks (Section IV-B2);
+* :mod:`repro.core.estimates` — IPC composition (Table IV / Eq. 1) and
+  the error / sample-size metrics of Figs. 9-10;
+* :mod:`repro.core.pipeline` — the end-to-end TBPoint flow.
+"""
+
+from repro.core.features import inter_feature_matrix
+from repro.core.interlaunch import InterLaunchPlan, plan_inter_launch
+from repro.core.epochs import EpochTable, build_epochs
+from repro.core.regions import HomogeneousRegion, RegionTable, identify_regions
+from repro.core.intralaunch import RegionSampler
+from repro.core.estimates import KernelEstimate, LaunchEstimate, sampling_error
+from repro.core.pipeline import TBPointResult, run_tbpoint
+
+__all__ = [
+    "inter_feature_matrix",
+    "InterLaunchPlan",
+    "plan_inter_launch",
+    "EpochTable",
+    "build_epochs",
+    "HomogeneousRegion",
+    "RegionTable",
+    "identify_regions",
+    "RegionSampler",
+    "KernelEstimate",
+    "LaunchEstimate",
+    "sampling_error",
+    "TBPointResult",
+    "run_tbpoint",
+]

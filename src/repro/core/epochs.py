@@ -1,0 +1,114 @@
+"""Epoch construction and intra-feature vectors (Eq. 4 / Eq. 5).
+
+Thread blocks with close IDs run concurrently (the greedy dispatcher
+fills SMs in ID order), so consecutive groups of ``system occupancy``
+thread blocks form *epochs* — the profiling-time approximation of "which
+blocks are co-resident".  Each epoch is summarized by its average stall
+probability (the intra-feature vector) and a *variation factor* that
+flags epochs containing outlier thread blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.profiler.functional import LaunchProfile
+
+
+def _group_cov(values: np.ndarray, starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Coefficient of variation of ``values`` within each group defined
+    by ``starts``/``counts`` (vectorized via reduceat)."""
+    sums = np.add.reduceat(values, starts)
+    sq_sums = np.add.reduceat(values * values, starts)
+    means = sums / counts
+    variances = np.maximum(sq_sums / counts - means * means, 0.0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        cov = np.sqrt(variances) / means
+    return np.where(means > 0, cov, 0.0)
+
+
+@dataclass(frozen=True)
+class EpochTable:
+    """Eq. 4 epochs of one launch with their Eq. 5 summaries.
+
+    Attributes
+    ----------
+    occupancy:
+        Epoch size (system occupancy for the simulated configuration).
+    starts:
+        First thread-block ID of each epoch.
+    counts:
+        Thread blocks per epoch (the last epoch may be partial).
+    stall_probability:
+        Mean over the epoch's blocks of per-block ``x/y`` (Eq. 5) — the
+        intra-feature vector's single dimension.
+    variation_factor:
+        max(CoV(X), CoV(Y)) over the epoch's blocks (Eq. 5) — large
+        values indicate outlier thread blocks.
+    """
+
+    occupancy: int
+    starts: np.ndarray
+    counts: np.ndarray
+    stall_probability: np.ndarray
+    variation_factor: np.ndarray
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.starts)
+
+    @property
+    def num_blocks(self) -> int:
+        return int(self.counts.sum())
+
+    def epoch_of_block(self, tb_id: int) -> int:
+        """Epoch index containing thread block ``tb_id``."""
+        if not 0 <= tb_id < self.num_blocks:
+            raise IndexError("tb_id out of range")
+        return tb_id // self.occupancy
+
+    def intra_feature_vectors(self) -> np.ndarray:
+        """(num_epochs, 1) matrix of intra-feature vectors, normalized by
+        the mean stall probability (the same Eq. 2-style normalization,
+        so the clustering threshold is a relative distance)."""
+        p = self.stall_probability
+        mean = p.mean()
+        if mean == 0:
+            return np.zeros((len(p), 1))
+        return (p / mean)[:, None]
+
+
+def build_epochs(profile: LaunchProfile, occupancy: int) -> EpochTable:
+    """Group a launch's thread blocks into epochs of ``occupancy``
+    consecutive IDs and compute per-epoch Eq. 5 summaries.
+
+    This is the step that must be redone when the simulated occupancy
+    changes (Section V-C) — but it reuses the one-time profile, so it is
+    a vectorized pass over per-block counters, not a re-profile.
+    """
+    if occupancy < 1:
+        raise ValueError("occupancy must be positive")
+    n = profile.num_blocks
+    starts = np.arange(0, n, occupancy, dtype=np.int64)
+    ends = np.minimum(starts + occupancy, n)
+    counts = ends - starts
+
+    x = profile.mem_requests.astype(np.float64)  # Eq. 5 X
+    y = profile.warp_insts.astype(np.float64)  # Eq. 5 Y
+    per_block_p = x / y
+    stall = np.add.reduceat(per_block_p, starts) / counts
+    vf = np.maximum(
+        _group_cov(x, starts, counts), _group_cov(y, starts, counts)
+    )
+    return EpochTable(
+        occupancy=occupancy,
+        starts=starts,
+        counts=counts,
+        stall_probability=stall,
+        variation_factor=vf,
+    )
+
+
+__all__ = ["EpochTable", "build_epochs"]

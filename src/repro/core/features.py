@@ -1,0 +1,74 @@
+"""Inter-launch feature vectors (Eq. 2).
+
+Each kernel launch is summarized by four architecture-independent
+features, each normalized by its average across all launches of the
+kernel so the dimensions share an order of magnitude:
+
+1. **Kernel launch size** — thread instructions;
+2. **Control-flow divergence** — warp instructions (two launches with
+   equal thread instructions but different divergence differ here);
+3. **Memory divergence** — memory requests (post-coalescing global/local
+   transactions);
+4. **Thread-block variation** — coefficient of variation of thread-block
+   sizes (distinct interleaving even at equal totals).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.distance import normalize_columns
+from repro.profiler.functional import KernelProfile
+
+#: Names of the Eq. 2 dimensions, in order.
+FEATURE_NAMES = (
+    "kernel_launch_size",
+    "control_flow_divergence",
+    "memory_divergence",
+    "thread_block_variation",
+)
+
+
+def raw_inter_features(profile: KernelProfile) -> np.ndarray:
+    """Un-normalized (num_launches, 4) feature matrix."""
+    rows = np.array(
+        [
+            [
+                p.total_thread_insts,
+                p.total_warp_insts,
+                p.total_mem_requests,
+                p.block_size_cov,
+            ]
+            for p in profile.launches
+        ],
+        dtype=np.float64,
+    )
+    return rows
+
+
+def inter_feature_matrix(
+    profile: KernelProfile, include: tuple[bool, bool, bool, bool] | None = None
+) -> np.ndarray:
+    """Eq. 2 feature matrix: raw features normalized column-wise by
+    their launch-average.
+
+    Parameters
+    ----------
+    profile:
+        One-time functional profile of the kernel.
+    include:
+        Optional per-feature mask for ablation studies (the DESIGN.md
+        feature-ablation bench); ``None`` keeps all four dimensions.
+    """
+    feats = normalize_columns(raw_inter_features(profile))
+    if include is not None:
+        mask = np.asarray(include, dtype=bool)
+        if mask.shape != (4,):
+            raise ValueError("include mask must have 4 entries")
+        if not mask.any():
+            raise ValueError("at least one feature must be included")
+        feats = feats[:, mask]
+    return feats
+
+
+__all__ = ["inter_feature_matrix", "raw_inter_features", "FEATURE_NAMES"]

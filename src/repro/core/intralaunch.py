@@ -1,0 +1,344 @@
+"""Homogeneous-region sampling (Section IV-B2).
+
+:class:`RegionSampler` implements the simulator's dispatch hooks as the
+paper's three-step state machine:
+
+* **Entering** — when every concurrently resident thread block belongs
+  to the same homogeneous region, the region is entered (WARM state).
+* **Sampling (warming)** — sampling units (specified-thread-block
+  lifetimes) are simulated as usual; once two consecutive units inside
+  the region differ in IPC by less than the warm tolerance, cache state
+  is considered stable and fast-forwarding begins.  The predicted region
+  IPC is measured over the whole post-first-unit warming window (single
+  units alias against DRAM-queue and wave beat patterns), and a cluster
+  whose IPC was already established by an earlier region of this launch
+  fast-forwards after a single confirming unit.
+* **Fast-forwarding** — newly dispatched blocks of the region are
+  skipped and credited at the predicted IPC.  Skips come in contiguous
+  whole-occupancy multiples (whole *waves*), so every later block keeps
+  its wave phase, and the final occupancy-many blocks of a region are
+  always simulated so a region reaching the launch's end reproduces the
+  real ramp-down.
+* **Exiting** — a dispatched block with a different region ID (or past
+  the skip budget) ends the episode and simulation continues as usual.
+
+Cycle accounting: when fast-forwarding ends mid-launch, the thread
+blocks still resident drained with ever-fewer co-runners, slower than
+inside the full run where dispatch would have kept the SMs full.  The
+measured drain window of an episode that skipped work is therefore
+replaced by crediting its instructions at the predicted region IPC,
+exactly like the skipped blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SamplingConfig
+
+# Sampler states.
+_IDLE = 0  # not inside a homogeneous region
+_WARM = 1  # inside a region, warming the caches
+_FF = 2  # fast-forwarding through the region
+
+
+@dataclass
+class RegionEpisode:
+    """Diagnostics for one entered region (used by tests and reports)."""
+
+    region_id: int
+    entered_at: int
+    warm_units: int = 0
+    fast_forwarded: bool = False
+    skipped_blocks: int = 0
+    skipped_insts: int = 0
+    predicted_ipc: float = 0.0
+    drain_insts: int = 0
+    drain_cycles: int = 0
+
+
+class RegionSampler:
+    """Intra-launch sampling controller for one launch simulation.
+
+    Parameters
+    ----------
+    region_of:
+        Region ID per thread block (-1 = no region), from
+        :func:`repro.core.regions.identify_regions`.
+    block_warp_insts:
+        Per-block warp-instruction counts from the functional profile —
+        the cost model for skipped blocks.
+    config:
+        Sampling parameters (warm tolerance, minimum warm units).
+    occupancy:
+        System occupancy (concurrent thread blocks machine-wide).  The
+        last ``occupancy`` blocks of a region are never skipped: the
+        region's final wave is simulated for real, so a region that runs
+        to the end of the launch reproduces the full run's ramp-down
+        instead of fast-forwarding through it.
+    cluster_of_region:
+        Optional epoch-cluster ID per region ID.  Epochs in one cluster
+        "are believed to have the same p and M" (Section IV-B1), so once
+        a cluster's IPC has been measured by a completed warming period,
+        later regions of the *same cluster* within this launch reuse the
+        prediction after a single confirming sampling unit instead of a
+        full warm — the intra-launch analogue of Eq. 1's
+        one-representative-per-cluster logic.
+    """
+
+    def __init__(
+        self,
+        region_of: np.ndarray,
+        block_warp_insts: np.ndarray,
+        config: SamplingConfig | None = None,
+        occupancy: int = 1,
+        cluster_of_region: dict[int, int] | None = None,
+    ):
+        if len(region_of) != len(block_warp_insts):
+            raise ValueError("region_of and block_warp_insts length mismatch")
+        if occupancy < 1:
+            raise ValueError("occupancy must be positive")
+        region_arr = np.asarray(region_of, dtype=np.int64)
+        self._region_of = region_arr.tolist()
+        # A block may be skipped only if its region continues for at
+        # least ``occupancy`` more blocks (the region tail is simulated).
+        skippable = np.zeros(len(region_arr), dtype=bool)
+        if len(region_arr) > occupancy:
+            head = region_arr[:-occupancy]
+            skippable[: len(head)] = (head >= 0) & (
+                head == region_arr[occupancy:]
+            )
+        self._skippable = skippable.tolist()
+        self._occupancy = occupancy
+        self._insts = np.asarray(block_warp_insts, dtype=np.int64).tolist()
+        self._config = config or SamplingConfig()
+        self._cluster_of_region = cluster_of_region or {}
+        # cluster ID -> IPC measured by a completed warming period.
+        self._cluster_ipc: dict[int, float] = {}
+
+        self._state = _IDLE
+        self._current_region = -1
+        # Resident composition: counts per region ID (-1 included).
+        self._resident: dict[int, int] = {}
+        self._resident_total = 0
+        self._prev_unit_ipc: float | None = None
+        self._warm_units = 0
+        self._unit_valid = False
+        self._predicted_ipc = 0.0
+        self._ff_start_cycle = 0
+        self._ff_start_issued = 0
+        self._budget: int | None = None
+        self._anchor_cycle = 0
+        self._anchor_issued = 0
+
+        # Public accounting consumed by the simulator's LaunchResult.
+        self.skipped_warp_insts = 0
+        self.extra_cycles = 0.0
+        self.episodes: list[RegionEpisode] = []
+        self._episode: RegionEpisode | None = None
+
+    # ------------------------------------------------------------------
+    # DispatchSampler interface
+    # ------------------------------------------------------------------
+    def on_dispatch(self, tb_id: int, now: int, issued: int) -> bool:
+        region = self._region_of[tb_id]
+        if self._state == _FF:
+            if (
+                region == self._current_region
+                and self._skippable[tb_id]
+                and self._skip_budget(tb_id) > 0
+            ):
+                self._budget -= 1
+                insts = self._insts[tb_id]
+                self.skipped_warp_insts += insts
+                self.extra_cycles += insts / self._predicted_ipc
+                episode = self._episode
+                if episode is not None:
+                    episode.skipped_blocks += 1
+                    episode.skipped_insts += insts
+                return False
+            # A foreign block, the region's final wave, or an exhausted
+            # skip budget: stop fast-forwarding and simulate.
+            self._close_ff(now, issued)
+            self._exit_region()
+        # Simulate the block.
+        self._resident[region] = self._resident.get(region, 0) + 1
+        self._resident_total += 1
+        self._update_state(now)
+        return True
+
+    def on_retire(self, tb_id: int, now: int, issued: int) -> None:
+        region = self._region_of[tb_id]
+        count = self._resident.get(region, 0) - 1
+        if count:
+            self._resident[region] = count
+        else:
+            self._resident.pop(region, None)
+        self._resident_total -= 1
+        self._update_state(now)
+
+    def on_unit_start(self, now: int) -> None:
+        # A unit is usable for the warming test only if it begins while
+        # already inside the region (WARM state).
+        self._unit_valid = self._state == _WARM
+
+    def on_unit_complete(self, insts: int, cycles: int, now: int, issued: int) -> None:
+        if self._state != _WARM or not self._unit_valid or insts <= 0:
+            return
+        ipc = insts / cycles
+        self._warm_units += 1
+        if self._warm_units == 1:
+            # Anchor after the first in-region unit: everything from here
+            # to the fast-forward decision is the prediction window.
+            self._anchor_cycle = now
+            self._anchor_issued = issued
+        if self._episode is not None:
+            self._episode.warm_units = self._warm_units
+        cluster = self._cluster_of_region.get(self._current_region)
+        known = self._cluster_ipc.get(cluster) if cluster is not None else None
+        prev = self._prev_unit_ipc
+        if (
+            known is not None
+            and known > 0
+            and abs(ipc - known) / known < self._config.warm_tolerance
+        ):
+            # This cluster's IPC was already established by an earlier
+            # warming period in this launch, and the confirming unit
+            # agrees: caches are warm, fast-forward immediately.
+            self._begin_ff(0.5 * (ipc + known), now, issued, cluster)
+            return
+        if (
+            prev is not None
+            and prev > 0
+            and self._warm_units >= self._config.min_warm_units
+            and abs(ipc - prev) / prev < self._config.warm_tolerance
+        ):
+            # Predict from the whole post-first-unit window rather than
+            # one unit: single units alias against DRAM-queue and wave
+            # beat patterns, and the first unit still carries cold-cache
+            # ramp (the reason the warming period exists).
+            window_cycles = now - self._anchor_cycle
+            window_insts = issued - self._anchor_issued
+            if window_cycles > 0 and window_insts > 0:
+                predicted = window_insts / window_cycles
+            else:
+                predicted = ipc
+            self._begin_ff(predicted, now, issued, cluster)
+            return
+        self._prev_unit_ipc = ipc
+
+    def _begin_ff(
+        self, predicted: float, now: int, issued: int, cluster: int | None
+    ) -> None:
+        self._state = _FF
+        self._predicted_ipc = predicted
+        self._ff_start_cycle = now
+        self._ff_start_issued = issued
+        self._budget = None  # computed at the first skip decision
+        if cluster is not None:
+            self._cluster_ipc[cluster] = predicted
+        if self._episode is not None:
+            self._episode.fast_forwarded = True
+            self._episode.predicted_ipc = predicted
+
+    def finalize(self, now: int, issued: int) -> None:
+        """Launch simulation finished; close any open fast-forward.
+
+        Because a region's final wave is never skipped, fast-forwarding
+        normally ends at a dispatch before the launch does; this path
+        only fires if the launch runs out while FF is still open (e.g.
+        an unexpectedly truncated launch) and applies the same
+        drain-replacement as a mid-launch exit."""
+        if self._state == _FF:
+            self._close_ff(now, issued)
+        self._exit_region()
+
+    # ------------------------------------------------------------------
+    # Internal state transitions
+    # ------------------------------------------------------------------
+    def _skip_budget(self, tb_id: int) -> int:
+        """Blocks this fast-forward episode may still skip.
+
+        Thread blocks execute in occupancy-sized *waves*; removing a
+        contiguous run that is an exact multiple of the occupancy shifts
+        every later block by whole waves, leaving the launch's wave
+        phase — and hence its ramp-down shape — identical to the full
+        run's.  The budget is therefore the largest multiple of the
+        occupancy that fits in the contiguous skippable run ahead."""
+        if self._budget is None:
+            run = 0
+            skippable = self._skippable
+            region_of = self._region_of
+            n = len(region_of)
+            while (
+                tb_id + run < n
+                and skippable[tb_id + run]
+                and region_of[tb_id + run] == self._current_region
+            ):
+                run += 1
+            self._budget = (run // self._occupancy) * self._occupancy
+        return self._budget
+
+    def _close_ff(self, now: int, issued: int) -> None:
+        """Fast-forwarding ends: replace the drain window's measured
+        cycles with a credit at the predicted region IPC (the drained
+        instructions would have run at that IPC had dispatch kept the
+        SMs full).
+
+        An episode that never skipped anything gets no replacement: its
+        "drain" window is real execution (e.g. fast-forward re-armed
+        during a region's final wave, where the measured ramp-down must
+        stand)."""
+        drain_insts = issued - self._ff_start_issued
+        drain_cycles = now - self._ff_start_cycle
+        episode = self._episode
+        if episode is not None:
+            episode.drain_insts = drain_insts
+            episode.drain_cycles = drain_cycles
+        if episode is None or episode.skipped_blocks > 0:
+            self.extra_cycles += drain_insts / self._predicted_ipc - drain_cycles
+
+    def _update_state(self, now: int) -> None:
+        """Re-evaluate the entering/exit-while-warming conditions after
+        any change to the resident composition."""
+        if self._state == _FF:
+            return  # FF exits only via a foreign dispatch or finalize
+        homogeneous = (
+            self._resident_total > 0
+            and len(self._resident) == 1
+            and next(iter(self._resident)) >= 0
+        )
+        if self._state == _IDLE:
+            if homogeneous:
+                self._state = _WARM
+                self._current_region = next(iter(self._resident))
+                self._prev_unit_ipc = None
+                self._warm_units = 0
+                self._episode = RegionEpisode(
+                    region_id=self._current_region, entered_at=now
+                )
+                self.episodes.append(self._episode)
+        elif self._state == _WARM:
+            if not homogeneous or next(iter(self._resident)) != self._current_region:
+                self._exit_region()
+                self._update_state(now)  # may immediately enter a new region
+
+    def _exit_region(self) -> None:
+        self._state = _IDLE
+        self._current_region = -1
+        self._prev_unit_ipc = None
+        self._warm_units = 0
+        self._unit_valid = False
+        self._episode = None
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def fast_forwarded_regions(self) -> int:
+        return sum(1 for e in self.episodes if e.fast_forwarded)
+
+
+__all__ = ["RegionSampler", "RegionEpisode"]

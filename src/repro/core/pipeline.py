@@ -1,0 +1,157 @@
+"""The end-to-end TBPoint pipeline.
+
+``run_tbpoint`` executes the whole flow of Figs. 2-3 for one kernel:
+
+1. one-time functional profiling (or reuse of a supplied profile);
+2. inter-launch sampling: Eq. 2 features -> hierarchical clustering ->
+   representative launches;
+3. for each representative launch: Eq. 4 epochs -> Eq. 5 intra-feature
+   vectors -> homogeneous-region identification -> timing simulation
+   with homogeneous-region sampling;
+4. composition of the kernel-level IPC estimate (Table IV).
+
+Both sampling levels can be disabled independently (they are orthogonal,
+as the paper notes under Table IV), which the ablation benches use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import GPUConfig, SamplingConfig
+from repro.core.epochs import build_epochs
+from repro.core.estimates import KernelEstimate, compose_kernel_estimate
+from repro.core.interlaunch import InterLaunchPlan, plan_inter_launch, trivial_plan
+from repro.core.intralaunch import RegionSampler
+from repro.core.regions import RegionTable, identify_regions
+from repro.profiler.functional import KernelProfile, profile_kernel
+from repro.sim.gpu import GPUSimulator, LaunchResult
+from repro.trace import KernelTrace
+
+
+@dataclass
+class TBPointResult:
+    """Everything a TBPoint run produces for one kernel."""
+
+    kernel_name: str
+    estimate: KernelEstimate
+    plan: InterLaunchPlan
+    region_tables: dict[int, RegionTable] = field(default_factory=dict)
+    rep_results: dict[int, LaunchResult] = field(default_factory=dict)
+    samplers: dict[int, RegionSampler] = field(default_factory=dict)
+
+    @property
+    def overall_ipc(self) -> float:
+        return self.estimate.overall_ipc
+
+    @property
+    def sample_size(self) -> float:
+        return self.estimate.sample_size
+
+    @property
+    def intra_skipped_insts(self) -> int:
+        """Warp instructions skipped by fast-forwarding within the
+        simulated launches (Fig. 11's intra-launch share)."""
+        return sum(r.skipped_warp_insts for r in self.rep_results.values())
+
+    @property
+    def inter_skipped_insts(self) -> int:
+        """Warp instructions of launches never simulated (Fig. 11's
+        inter-launch share)."""
+        return sum(
+            l.warp_insts for l in self.estimate.launches if not l.simulated
+        )
+
+    def skip_breakdown(self) -> tuple[float, float]:
+        """Relative (inter, intra) shares of all skipped instructions —
+        one Fig. 11 bar.  (0, 0) if nothing was skipped."""
+        inter = self.inter_skipped_insts
+        intra = self.intra_skipped_insts
+        total = inter + intra
+        if total == 0:
+            return (0.0, 0.0)
+        return (inter / total, intra / total)
+
+
+def run_tbpoint(
+    kernel: KernelTrace,
+    gpu: GPUConfig | None = None,
+    sampling: SamplingConfig | None = None,
+    profile: KernelProfile | None = None,
+    simulator: GPUSimulator | None = None,
+    use_inter: bool = True,
+    use_intra: bool = True,
+    feature_mask: tuple[bool, bool, bool, bool] | None = None,
+    extra_features: np.ndarray | None = None,
+) -> TBPointResult:
+    """Run TBPoint on one kernel and return the composed estimate.
+
+    Parameters
+    ----------
+    kernel:
+        The kernel trace (all launches).
+    gpu / sampling:
+        Machine and sampling configurations.
+    profile:
+        Reuse of the one-time functional profile (hardware independent —
+        valid across GPU configurations, per Section V-C).
+    simulator:
+        Reuse an existing simulator instance (its memory hierarchy is
+        reset at each launch anyway).
+    use_inter / use_intra:
+        Enable/disable the two orthogonal sampling levels.
+    feature_mask / extra_features:
+        Forwarded to :func:`plan_inter_launch` for ablation studies and
+        the BBV-feature extension.
+    """
+    gpu = gpu or GPUConfig()
+    sampling = sampling or SamplingConfig()
+    if profile is None:
+        profile = profile_kernel(kernel)
+    simulator = simulator or GPUSimulator(gpu)
+
+    if use_inter:
+        plan = plan_inter_launch(
+            profile, sampling, include=feature_mask, extra_features=extra_features
+        )
+    else:
+        plan = trivial_plan(profile)
+
+    region_tables: dict[int, RegionTable] = {}
+    rep_results: dict[int, LaunchResult] = {}
+    samplers: dict[int, RegionSampler] = {}
+    for launch_id in plan.simulated_launches:
+        launch = kernel.launches[launch_id]
+        launch_profile = profile.launches[launch_id]
+        sampler = None
+        if use_intra:
+            occupancy = gpu.system_occupancy(launch.warps_per_block)
+            epochs = build_epochs(launch_profile, occupancy)
+            table = identify_regions(epochs, sampling)
+            region_tables[launch_id] = table
+            sampler = RegionSampler(
+                region_of=table.region_of,
+                block_warp_insts=launch_profile.warp_insts,
+                config=sampling,
+                occupancy=occupancy,
+                cluster_of_region={
+                    r.region_id: r.cluster for r in table.regions
+                },
+            )
+            samplers[launch_id] = sampler
+        rep_results[launch_id] = simulator.run_launch(launch, sampler=sampler)
+
+    estimate = compose_kernel_estimate(profile, plan, rep_results)
+    return TBPointResult(
+        kernel_name=kernel.name,
+        estimate=estimate,
+        plan=plan,
+        region_tables=region_tables,
+        rep_results=rep_results,
+        samplers=samplers,
+    )
+
+
+__all__ = ["TBPointResult", "run_tbpoint"]

@@ -1,0 +1,129 @@
+"""Homogeneous-region identification (Section IV-B1).
+
+Three steps over a launch's epoch table:
+
+1. **Epoch clustering** — hierarchical clustering of the intra-feature
+   vectors (threshold sigma_intra); epochs in one cluster are believed
+   to share stall probability ``p`` (and, since the same kernel code
+   runs, stall latency ``M``).
+2. **Outlier post-processing** — epochs whose variation factor exceeds
+   the threshold contain outlier thread blocks and are evicted into
+   singleton clusters.
+3. **Region construction** — maximal runs of *consecutive* epochs with
+   the same cluster ID become homogeneous regions; the region ID is
+   recorded for every member thread block in the homogeneous-region
+   table (Table III).  Runs shorter than ``min_region_epochs`` are not
+   worth sampling and stay unmarked (simulated as usual).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster import hierarchical_cluster
+from repro.config import SamplingConfig
+from repro.core.epochs import EpochTable
+
+
+@dataclass(frozen=True)
+class HomogeneousRegion:
+    """One row of the homogeneous-region table (Table III)."""
+
+    region_id: int
+    start_tb: int
+    end_tb: int  # exclusive
+    start_epoch: int
+    end_epoch: int  # exclusive
+    cluster: int
+
+    @property
+    def num_blocks(self) -> int:
+        return self.end_tb - self.start_tb
+
+    @property
+    def num_epochs(self) -> int:
+        return self.end_epoch - self.start_epoch
+
+
+@dataclass(frozen=True)
+class RegionTable:
+    """Homogeneous-region table for one launch.
+
+    ``region_of`` maps every thread-block ID to its region ID, or -1 for
+    blocks outside any region (simulated as usual).
+    """
+
+    regions: tuple[HomogeneousRegion, ...]
+    region_of: np.ndarray  # int64[num_blocks]
+    epoch_clusters: np.ndarray  # cluster ID per epoch (after outlier pass)
+    outlier_epochs: np.ndarray  # bool per epoch
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+    @property
+    def covered_blocks(self) -> int:
+        """Thread blocks inside some homogeneous region."""
+        return int((self.region_of >= 0).sum())
+
+    def rows(self) -> list[tuple[int, int, int]]:
+        """(region ID, start TB ID, end TB ID) rows, Table III style
+        (end inclusive, as in the paper's table)."""
+        return [(r.region_id, r.start_tb, r.end_tb - 1) for r in self.regions]
+
+
+def identify_regions(
+    epochs: EpochTable, config: SamplingConfig | None = None
+) -> RegionTable:
+    """Run the three identification steps on one launch's epoch table."""
+    config = config or SamplingConfig()
+    n_epochs = epochs.num_epochs
+
+    # Step 1: epoch clustering on intra-feature vectors.
+    vectors = epochs.intra_feature_vectors()
+    clusters = hierarchical_cluster(vectors, config.intra_threshold).labels.copy()
+
+    # Step 2: evict outlier epochs into singleton clusters.
+    outliers = epochs.variation_factor > config.variation_factor
+    next_cluster = int(clusters.max()) + 1 if n_epochs else 0
+    for e in np.flatnonzero(outliers):
+        clusters[e] = next_cluster
+        next_cluster += 1
+
+    # Step 3: consecutive same-cluster runs become regions.
+    region_of = np.full(epochs.num_blocks, -1, dtype=np.int64)
+    regions: list[HomogeneousRegion] = []
+    run_start = 0
+    for e in range(1, n_epochs + 1):
+        if e < n_epochs and clusters[e] == clusters[run_start]:
+            continue
+        run_len = e - run_start
+        if run_len >= config.min_region_epochs and not outliers[run_start]:
+            region_id = len(regions)
+            start_tb = int(epochs.starts[run_start])
+            end_tb = int(epochs.starts[e - 1] + epochs.counts[e - 1])
+            regions.append(
+                HomogeneousRegion(
+                    region_id=region_id,
+                    start_tb=start_tb,
+                    end_tb=end_tb,
+                    start_epoch=run_start,
+                    end_epoch=e,
+                    cluster=int(clusters[run_start]),
+                )
+            )
+            region_of[start_tb:end_tb] = region_id
+        run_start = e
+
+    return RegionTable(
+        regions=tuple(regions),
+        region_of=region_of,
+        epoch_clusters=clusters,
+        outlier_epochs=outliers,
+    )
+
+
+__all__ = ["HomogeneousRegion", "RegionTable", "identify_regions"]

@@ -1,0 +1,38 @@
+"""The paper's mathematical model (Section IV-A).
+
+A warp alternates between *runnable* and *stalled* states (Fig. 4): a
+runnable warp stalls with probability ``p`` per cycle; a stalled warp
+wakes with probability ``1/M``.  An SM with N warps is a Markov chain
+over the 2^N joint states (Eq. 3); the SM issues whenever at least one
+warp is runnable, so IPC = 1 - P[all stalled].
+
+Lemma 4.1 — the justification for homogeneous-region sampling — states
+that when each warp's mean stall latency M is drawn from a Gaussian
+(sigma = 0.1 mu / 1.96), more than 95% of Monte-Carlo samples land
+within 10% of the mean IPC.  :mod:`repro.model.montecarlo` reproduces
+that study (Fig. 5).
+"""
+
+from repro.model.markov import (
+    analytic_ipc,
+    ipc_from_steady_state,
+    steady_state,
+    transition_matrix,
+    warp_runnable_probability,
+)
+from repro.model.montecarlo import (
+    IPCVariation,
+    ipc_variation,
+    sample_stall_latencies,
+)
+
+__all__ = [
+    "transition_matrix",
+    "steady_state",
+    "ipc_from_steady_state",
+    "analytic_ipc",
+    "warp_runnable_probability",
+    "sample_stall_latencies",
+    "ipc_variation",
+    "IPCVariation",
+]

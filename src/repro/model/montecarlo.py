@@ -1,0 +1,119 @@
+"""Monte-Carlo study of IPC variation under variable stall latency.
+
+Reproduces Lemma 4.1 / Fig. 5: draw each warp's mean stall latency
+M_x from a Gaussian N(mu, sigma^2) with sigma = 0.1 mu / 1.96 (so 95% of
+draws fall within +-10% of mu), evaluate the Markov-chain IPC per draw,
+and report the distribution of relative IPC deviation from the mean.
+The paper's conclusion — the basis for treating a homogeneous region's
+IPC as a single number — is that >95% of samples deviate by <10%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.markov import analytic_ipc
+
+#: The paper's Monte-Carlo sample count.
+DEFAULT_SAMPLES = 10_000
+
+#: sigma = GAUSS_SPREAD * mu / 1.96 puts 95% of draws within
+#: +-GAUSS_SPREAD of mu (the paper uses 10%).
+GAUSS_SPREAD = 0.10
+
+
+def sample_stall_latencies(
+    mean_latency: float,
+    num_warps: int,
+    num_samples: int = DEFAULT_SAMPLES,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Draw per-warp stall latencies M_x ~ N(mu, (0.1 mu / 1.96)^2),
+    shape (num_samples, num_warps), clipped below at 1 cycle."""
+    if mean_latency < 1:
+        raise ValueError("mean stall latency must be >= 1 cycle")
+    if num_warps < 1 or num_samples < 1:
+        raise ValueError("num_warps and num_samples must be positive")
+    rng = rng or np.random.default_rng(0)
+    sigma = GAUSS_SPREAD * mean_latency / 1.96
+    draws = rng.normal(mean_latency, sigma, size=(num_samples, num_warps))
+    return np.maximum(draws, 1.0)
+
+
+@dataclass(frozen=True)
+class IPCVariation:
+    """Result of one Monte-Carlo configuration (one Fig. 5 curve).
+
+    Attributes
+    ----------
+    stall_probability, mean_latency, num_warps:
+        The (p, M, N) configuration, e.g. Fig. 5's "p0.05M100N4".
+    ipcs:
+        IPC per Monte-Carlo sample.
+    """
+
+    stall_probability: float
+    mean_latency: float
+    num_warps: int
+    ipcs: np.ndarray
+
+    @property
+    def label(self) -> str:
+        """Fig. 5 legend label, e.g. ``p0.05M100N4``."""
+        m = self.mean_latency
+        m_str = str(int(m)) if float(m).is_integer() else f"{m:g}"
+        return f"p{self.stall_probability:g}M{m_str}N{self.num_warps}"
+
+    @property
+    def mean_ipc(self) -> float:
+        return float(self.ipcs.mean())
+
+    @property
+    def relative_deviation(self) -> np.ndarray:
+        """|IPC - mean| / mean per sample."""
+        mean = self.mean_ipc
+        return np.abs(self.ipcs - mean) / mean
+
+    def fraction_within(self, tolerance: float = 0.10) -> float:
+        """Fraction of samples whose IPC deviates from the mean by less
+        than ``tolerance`` (Lemma 4.1 claims > 0.95 at 0.10)."""
+        return float(np.mean(self.relative_deviation < tolerance))
+
+    def deviation_cdf(self, grid: np.ndarray) -> np.ndarray:
+        """CDF of the relative deviation evaluated at ``grid`` — the
+        curve plotted in Fig. 5."""
+        dev = np.sort(self.relative_deviation)
+        return np.searchsorted(dev, grid, side="right") / len(dev)
+
+
+def ipc_variation(
+    stall_probability: float,
+    mean_latency: float,
+    num_warps: int,
+    num_samples: int = DEFAULT_SAMPLES,
+    rng: np.random.Generator | None = None,
+) -> IPCVariation:
+    """Run the Monte-Carlo study for one (p, M, N) configuration.
+
+    Each sample fixes per-warp latencies M_x and evaluates the steady-
+    state IPC of the Eq. 3 chain (via the factorized closed form, which
+    matches the explicit matrix to numerical precision)."""
+    ms = sample_stall_latencies(mean_latency, num_warps, num_samples, rng)
+    ipcs = analytic_ipc(stall_probability, ms)
+    return IPCVariation(
+        stall_probability=float(stall_probability),
+        mean_latency=float(mean_latency),
+        num_warps=int(num_warps),
+        ipcs=np.asarray(ipcs, dtype=np.float64),
+    )
+
+
+__all__ = [
+    "sample_stall_latencies",
+    "ipc_variation",
+    "IPCVariation",
+    "DEFAULT_SAMPLES",
+    "GAUSS_SPREAD",
+]

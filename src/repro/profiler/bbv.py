@@ -1,0 +1,44 @@
+"""Basic-block vectors from functional profiling.
+
+Two uses:
+
+* the Ideal-SimPoint baseline consumes *per-sampling-unit* BBVs gathered
+  during the full timing run (see
+  :class:`repro.sim.gpu.FixedUnitRecorder`) — those cannot be produced
+  functionally, which is exactly why that baseline is "ideal";
+* the paper's footnote-2 extension — adding the BBV as another
+  inter-launch feature — only needs *per-launch* BBVs, which functional
+  profiling can produce.  :func:`launch_bbvs` computes them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace import KernelTrace, LaunchTrace
+
+
+def launch_bbv(launch: LaunchTrace) -> np.ndarray:
+    """Normalized basic-block vector of one launch: executed
+    warp-instruction counts per basic block over all thread blocks,
+    divided by the launch's total (Eq. 1's normalization)."""
+    total = np.zeros(launch.num_bbs, dtype=np.int64)
+    for block in launch.iter_blocks():
+        total += block.bb_counts(launch.num_bbs)
+    s = total.sum()
+    return total / s if s else total.astype(np.float64)
+
+
+def launch_bbvs(kernel: KernelTrace, weight: float = 1.0) -> np.ndarray:
+    """(num_launches, num_bbs) matrix of normalized per-launch BBVs,
+    scaled by ``weight`` so the extra dimensions are comparable to the
+    Eq. 2 features when appended (footnote 2 of the paper)."""
+    width = max(l.num_bbs for l in kernel.launches)
+    rows = np.zeros((kernel.num_launches, width), dtype=np.float64)
+    for i, launch in enumerate(kernel.launches):
+        bbv = launch_bbv(launch)
+        rows[i, : len(bbv)] = bbv
+    return rows * weight
+
+
+__all__ = ["launch_bbv", "launch_bbvs"]

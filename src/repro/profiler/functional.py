@@ -1,0 +1,142 @@
+"""Per-thread-block functional profiling.
+
+:func:`profile_launch` walks every thread block of a launch once and
+records the three counters TBPoint needs (Sections III and IV-B1):
+
+* warp instructions  — Eq. 2 feature 2, Eq. 5's ``y``;
+* thread instructions — Eq. 2 feature 1, and the "thread block size"
+  used for the thread-block-variation feature and Fig. 8;
+* memory requests (global/local) — Eq. 2 feature 3, Eq. 5's ``x``.
+
+The result is column-wise numpy arrays over thread-block ID, so epoch
+construction (Eq. 4/5) is pure vectorized slicing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace import KernelTrace, LaunchTrace
+
+
+@dataclass
+class LaunchProfile:
+    """Profile of one kernel launch: per-thread-block counters.
+
+    All arrays are indexed by thread-block ID (dispatch order).
+    """
+
+    kernel_name: str
+    launch_id: int
+    warps_per_block: int
+    warp_insts: np.ndarray  # int64[num_blocks]
+    thread_insts: np.ndarray  # int64[num_blocks]
+    mem_requests: np.ndarray  # int64[num_blocks]
+
+    def __post_init__(self) -> None:
+        n = len(self.warp_insts)
+        if not (len(self.thread_insts) == len(self.mem_requests) == n):
+            raise ValueError("profile column length mismatch")
+        if n == 0:
+            raise ValueError("empty launch profile")
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.warp_insts)
+
+    @property
+    def total_warp_insts(self) -> int:
+        return int(self.warp_insts.sum())
+
+    @property
+    def total_thread_insts(self) -> int:
+        return int(self.thread_insts.sum())
+
+    @property
+    def total_mem_requests(self) -> int:
+        return int(self.mem_requests.sum())
+
+    @property
+    def stall_probability(self) -> np.ndarray:
+        """Eq. 5 per-block stall probability ``x / y`` (memory requests
+        per warp instruction)."""
+        return self.mem_requests / self.warp_insts
+
+    @property
+    def block_size_cov(self) -> float:
+        """Coefficient of variation of thread-block sizes (Eq. 2's
+        thread-block-variation feature; size = thread instructions)."""
+        mean = self.thread_insts.mean()
+        if mean == 0:
+            return 0.0
+        return float(self.thread_insts.std() / mean)
+
+    @property
+    def block_size_ratio(self) -> np.ndarray:
+        """Thread-block size normalized by the launch average — the
+        quantity plotted in Fig. 8."""
+        return self.thread_insts / self.thread_insts.mean()
+
+
+def profile_launch(launch: LaunchTrace) -> LaunchProfile:
+    """Functionally profile one launch (walks every thread block once)."""
+    n = launch.num_blocks
+    warp_insts = np.empty(n, dtype=np.int64)
+    thread_insts = np.empty(n, dtype=np.int64)
+    mem_requests = np.empty(n, dtype=np.int64)
+    for tb_id in range(n):
+        stats = launch.block(tb_id).stats
+        warp_insts[tb_id] = stats.warp_insts
+        thread_insts[tb_id] = stats.thread_insts
+        mem_requests[tb_id] = stats.mem_requests
+    return LaunchProfile(
+        kernel_name=launch.kernel_name,
+        launch_id=launch.launch_id,
+        warps_per_block=launch.warps_per_block,
+        warp_insts=warp_insts,
+        thread_insts=thread_insts,
+        mem_requests=mem_requests,
+    )
+
+
+@dataclass
+class KernelProfile:
+    """Profile of a whole kernel: one :class:`LaunchProfile` per launch.
+
+    This is the one-time profiling artifact: everything TBPoint computes
+    afterwards (inter-launch feature vectors, epochs, homogeneous
+    regions) derives from it without touching the traces again.
+    """
+
+    kernel_name: str
+    launches: list[LaunchProfile] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.launches:
+            raise ValueError("kernel profile with no launches")
+
+    @property
+    def num_launches(self) -> int:
+        return len(self.launches)
+
+    @property
+    def total_warp_insts(self) -> int:
+        return sum(p.total_warp_insts for p in self.launches)
+
+    @property
+    def total_thread_insts(self) -> int:
+        return sum(p.total_thread_insts for p in self.launches)
+
+
+def profile_kernel(kernel: KernelTrace) -> KernelProfile:
+    """Functionally profile every launch of a kernel (the paper's
+    one-time GPUOcelot pass)."""
+    return KernelProfile(
+        kernel_name=kernel.name,
+        launches=[profile_launch(launch) for launch in kernel.launches],
+    )
+
+
+__all__ = ["LaunchProfile", "KernelProfile", "profile_launch", "profile_kernel"]

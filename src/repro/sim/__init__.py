@@ -1,0 +1,28 @@
+"""Cycle-approximate GPGPU timing simulator (the Macsim substitute).
+
+An event-driven multi-SM model: a global event heap orders SM issue
+slots; each SM issues one warp instruction per cycle from its
+earliest-ready resident warp (in-order, scoreboarded — Table V); memory
+instructions traverse per-SM L1s, a shared L2 and banked DRAM with
+open-row and queueing behaviour, which produces the *variable* stall
+latencies the paper's model calls ``M``.
+
+The simulator exposes the hooks TBPoint's intra-launch sampling needs:
+a dispatch-time skip decision and sampling-unit tracking where a unit is
+the lifetime of a *specified* thread block (Section IV-B2).
+"""
+
+from repro.sim.caches import LRUCache
+from repro.sim.dram import DRAMModel
+from repro.sim.memory import MemoryHierarchy
+from repro.sim.gpu import GPUSimulator, LaunchResult, FixedUnitRecorder, UnitRecord
+
+__all__ = [
+    "LRUCache",
+    "DRAMModel",
+    "MemoryHierarchy",
+    "GPUSimulator",
+    "LaunchResult",
+    "FixedUnitRecorder",
+    "UnitRecord",
+]

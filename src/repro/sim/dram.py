@@ -1,0 +1,110 @@
+"""DRAM model: channels x banks, open-row policy, bank queueing.
+
+This is where the *variable* stall latency of the paper's model comes
+from: a request's completion time depends on whether it hits the bank's
+open row and on how backed up the bank is (queueing delay), so the same
+static instruction sees a distribution of latencies — the random
+variable ``M`` of Section IV-A.  Row-buffer locality plus
+oldest-first service per bank approximates FR-FCFS (Table V) at the
+fidelity the sampling study needs.
+"""
+
+from __future__ import annotations
+
+from repro.config import GPUConfig
+
+
+class DRAMModel:
+    """Banked DRAM with open-row tracking and per-bank service queues.
+
+    Each (channel, bank) pair keeps the currently open row and the time
+    the bank is next free.  A request at time ``now``:
+
+    * waits until the bank is free (queueing delay),
+    * pays the base access latency, plus the row-miss penalty if it does
+      not hit the open row,
+    * occupies the bank for ``dram_service`` cycles (burst transfer),
+      which is what creates queueing under load.
+    """
+
+    __slots__ = (
+        "num_banks",
+        "base_latency",
+        "row_miss_penalty",
+        "service",
+        "line_shift",
+        "row_shift",
+        "open_row",
+        "free_at",
+        "requests",
+        "row_hits",
+        "total_queue_cycles",
+        "jitter",
+        "_jitter_state",
+    )
+
+    def __init__(self, config: GPUConfig):
+        self.num_banks = config.dram_channels * config.dram_banks
+        self.base_latency = config.dram_latency
+        self.row_miss_penalty = config.dram_row_miss_penalty
+        self.service = config.dram_service
+        self.line_shift = config.l2_line.bit_length() - 1
+        self.row_shift = config.dram_row_bytes.bit_length() - 1
+        # Per-access latency jitter (0..jitter-1 cycles) from a
+        # deterministic LCG.  Real DRAM timing varies by a few cycles
+        # per access (refresh, command scheduling); without it, launches
+        # of perfectly uniform thread blocks stay phase-locked in waves
+        # for thousands of cycles, which no real machine does.
+        self.jitter = config.dram_jitter
+        self.open_row = [-1] * self.num_banks
+        self.free_at = [0] * self.num_banks
+        self.requests = 0
+        self.row_hits = 0
+        self.total_queue_cycles = 0
+        self._jitter_state = 1
+
+    def access(self, addr: int, now: int) -> int:
+        """Issue one line-sized request; return its completion time."""
+        bank = (addr >> self.line_shift) % self.num_banks
+        row = addr >> self.row_shift
+        free = self.free_at[bank]
+        start = free if free > now else now
+        queue = start - now
+
+        latency = self.base_latency
+        if self.jitter:
+            self._jitter_state = (
+                self._jitter_state * 1103515245 + 12345
+            ) & 0x7FFFFFFF
+            latency += (self._jitter_state >> 16) % self.jitter
+        if self.open_row[bank] == row:
+            self.row_hits += 1
+        else:
+            latency += self.row_miss_penalty
+            self.open_row[bank] = row
+
+        self.free_at[bank] = start + self.service
+        self.requests += 1
+        self.total_queue_cycles += queue
+        return start + latency
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.requests if self.requests else 0.0
+
+    @property
+    def mean_queue_delay(self) -> float:
+        return self.total_queue_cycles / self.requests if self.requests else 0.0
+
+    def reset(self, keep_stats: bool = False) -> None:
+        """Close all rows and clear bank timing (between launches)."""
+        self.open_row = [-1] * self.num_banks
+        self.free_at = [0] * self.num_banks
+        self._jitter_state = 1
+        if not keep_stats:
+            self.requests = 0
+            self.row_hits = 0
+            self.total_queue_cycles = 0
+
+
+__all__ = ["DRAMModel"]

@@ -1,0 +1,402 @@
+"""Event-driven multi-SM timing simulator.
+
+The engine keeps one global event heap of (cycle, sm) issue slots.
+Popping an event issues exactly one warp instruction on that SM — from
+its earliest-ready resident warp — then reschedules the SM for
+``max(cycle + 1, next warp ready)``.  Cost is therefore
+O(instructions x log) with idle cycles skipped by construction, per the
+HPC guideline of spending time only where work happens.
+
+Warp state is kept as plain Python lists (converted once per thread
+block from the numpy trace): the hot loop does single-element random
+access, where list indexing beats numpy scalar indexing by ~4x.
+
+Sampling support (Section IV-B2):
+
+* an optional :class:`~repro.sim.sampler_hooks.DispatchSampler` decides
+  at dispatch time whether each thread block is simulated or skipped
+  (fast-forward), and observes retirements;
+* *sampling units* are tracked as the paper defines them — the interval
+  between the dispatch and retirement of a *specified* thread block
+  (first dispatched block at start; a new one is specified after each
+  retirement) — and reported to the sampler;
+* an optional :class:`FixedUnitRecorder` slices the run into
+  fixed-instruction-count units with per-unit IPC and basic-block
+  vectors, which is what the Random and Ideal-SimPoint baselines consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.config import GPUConfig
+from repro.sim.memory import MemoryHierarchy
+from repro.sim.sampler_hooks import DispatchSampler
+from repro.trace import STALL_CYCLES, LaunchTrace
+from repro.trace.blocktrace import BlockTrace
+
+
+class _WarpState:
+    """Mutable per-warp execution state (lists for fast scalar access)."""
+
+    __slots__ = ("pc", "n", "stall", "memreq", "addr", "spread", "bb", "tb")
+
+    def __init__(self, trace, tb: "_TBState"):
+        op = trace.op
+        # Static scoreboard stall per instruction; 0 marks DRAM-bound
+        # memory ops whose latency the hierarchy computes dynamically.
+        self.stall = STALL_CYCLES[op].tolist()
+        self.memreq = trace.mem_req.tolist()
+        self.addr = trace.addr.tolist()
+        self.spread = trace.spread.tolist()
+        self.bb = trace.bb.tolist()
+        self.pc = 0
+        self.n = len(op)
+        self.tb = tb
+
+
+class _TBState:
+    """Mutable per-thread-block state."""
+
+    __slots__ = ("tb_id", "live")
+
+    def __init__(self, tb_id: int, num_warps: int):
+        self.tb_id = tb_id
+        self.live = num_warps
+
+
+@dataclass
+class UnitRecord:
+    """One fixed-size sampling unit of a full simulation run."""
+
+    start_cycle: int
+    end_cycle: int
+    insts: int
+    bbv: np.ndarray | None = None
+
+    @property
+    def cycles(self) -> int:
+        return max(1, self.end_cycle - self.start_cycle)
+
+    @property
+    def ipc(self) -> float:
+        """Machine-wide IPC of the unit."""
+        return self.insts / self.cycles
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.insts
+
+
+class FixedUnitRecorder:
+    """Slices a run into units of ``unit_insts`` machine-wide warp
+    instructions, recording per-unit IPC and (optionally) the BBV.
+
+    This reproduces the measurement the paper's baselines need: "we
+    collect IPC for every sampling unit with one million instructions"
+    (Random) and "we collect the BBV and IPC for every sampling unit"
+    (Ideal-SimPoint).
+    """
+
+    def __init__(self, unit_insts: int, num_bbs: int, record_bbv: bool = True):
+        if unit_insts < 1:
+            raise ValueError("unit_insts must be positive")
+        if num_bbs < 1:
+            raise ValueError("num_bbs must be positive")
+        self.unit_insts = unit_insts
+        self.num_bbs = num_bbs
+        self.record_bbv = record_bbv
+        self.units: list[UnitRecord] = []
+        self._start = 0
+        self.cur_bbv = np.zeros(num_bbs, dtype=np.int64)
+
+    def flush(self, now: int, insts: int) -> None:
+        """Close the current unit at cycle ``now`` with ``insts``
+        instructions and open the next one."""
+        bbv = None
+        if self.record_bbv:
+            bbv = self.cur_bbv
+            self.cur_bbv = np.zeros(self.num_bbs, dtype=np.int64)
+        self.units.append(
+            UnitRecord(start_cycle=self._start, end_cycle=now, insts=insts, bbv=bbv)
+        )
+        self._start = now
+
+    def finalize(self, now: int, leftover: int) -> None:
+        """Close a trailing partial unit, if any instructions remain."""
+        if leftover > 0:
+            self.flush(now, leftover)
+
+    @property
+    def ipcs(self) -> np.ndarray:
+        return np.array([u.ipc for u in self.units])
+
+    @property
+    def cpis(self) -> np.ndarray:
+        return np.array([u.cpi for u in self.units])
+
+    @property
+    def inst_counts(self) -> np.ndarray:
+        return np.array([u.insts for u in self.units], dtype=np.int64)
+
+    def bbv_matrix(self, normalize: bool = True) -> np.ndarray:
+        """(num_units, num_bbs) matrix of basic-block vectors; rows are
+        normalized by the unit's instruction count (Eq. 1's BBV)."""
+        if not self.record_bbv:
+            raise ValueError("recorder was created with record_bbv=False")
+        mat = np.stack([u.bbv for u in self.units]).astype(np.float64)
+        if normalize:
+            totals = mat.sum(axis=1, keepdims=True)
+            totals[totals == 0] = 1.0
+            mat /= totals
+        return mat
+
+
+@dataclass
+class LaunchResult:
+    """Timing result of one (possibly sampled) launch simulation."""
+
+    launch_id: int
+    issued_warp_insts: int
+    wall_cycles: int
+    per_sm_issued: list[int]
+    per_sm_busy_cycles: list[int]
+    skipped_warp_insts: int = 0
+    extra_cycles: float = 0.0
+    mem_stats: dict = field(default_factory=dict)
+
+    @property
+    def machine_ipc(self) -> float:
+        """Measured machine-wide IPC (issued instructions / wall cycles),
+        counting only simulated work."""
+        return self.issued_warp_insts / max(1, self.wall_cycles)
+
+    @property
+    def per_sm_ipc_sum(self) -> float:
+        """The paper's Fig. 9 overall-IPC definition:
+        sum over SMs of warp_insts_k / cycles_k."""
+        return sum(
+            i / c for i, c in zip(self.per_sm_issued, self.per_sm_busy_cycles) if c > 0
+        )
+
+    @property
+    def total_warp_insts(self) -> int:
+        """Simulated plus fast-forwarded warp instructions — equals the
+        launch's functional instruction count."""
+        return self.issued_warp_insts + self.skipped_warp_insts
+
+    @property
+    def est_cycles(self) -> float:
+        """Estimated cycles for the whole launch: measured wall cycles
+        plus the predicted time of fast-forwarded regions (Table IV)."""
+        return self.wall_cycles + self.extra_cycles
+
+    @property
+    def est_ipc(self) -> float:
+        """Estimated machine IPC for the whole launch."""
+        return self.total_warp_insts / max(1.0, self.est_cycles)
+
+    @property
+    def sampled_fraction(self) -> float:
+        """Fraction of the launch's warp instructions actually simulated
+        (the Fig. 10 sample-size numerator for this launch)."""
+        total = self.total_warp_insts
+        return self.issued_warp_insts / total if total else 0.0
+
+
+class GPUSimulator:
+    """Trace-driven, event-driven multi-SM GPU timing simulator."""
+
+    def __init__(self, config: GPUConfig | None = None):
+        self.config = config or GPUConfig()
+        self.mem = MemoryHierarchy(self.config)
+
+    def run_launch(
+        self,
+        launch: LaunchTrace,
+        sampler: DispatchSampler | None = None,
+        recorder: FixedUnitRecorder | None = None,
+        reset_memory: bool = True,
+    ) -> LaunchResult:
+        """Simulate one kernel launch.
+
+        Parameters
+        ----------
+        launch:
+            The launch trace; thread blocks are dispatched greedily in
+            ID order, round-robin across SMs.
+        sampler:
+            Optional intra-launch sampler (TBPoint's homogeneous-region
+            sampling).  ``None`` simulates everything at full speed.
+        recorder:
+            Optional fixed-size-unit recorder (baseline measurement).
+        reset_memory:
+            Invalidate caches and DRAM bank state first, making every
+            launch's timing independent of simulation order (required
+            for representative-launch sampling to be meaningful).
+        """
+        cfg = self.config
+        if reset_memory:
+            self.mem.reset()
+        num_sms = cfg.num_sms
+        occ = cfg.sm_occupancy(launch.warps_per_block)
+        num_blocks = launch.num_blocks
+
+        wheaps: list[list] = [[] for _ in range(num_sms)]
+        resident = [0] * num_sms
+        per_sm_issued = [0] * num_sms
+        per_sm_last = [0] * num_sms
+
+        # Dispatch bookkeeping (mutated by closures below).
+        next_tb = 0
+        dispatch_free = 0  # the global scheduler issues one block at a time
+        seq_counter = 0
+        specified_tb = -1
+        unit_t0 = 0
+        unit_i0 = 0
+        issued = 0
+
+        get_block = launch.block
+        has_sampler = sampler is not None
+
+        def dispatch_to(si: int, now: int) -> bool:
+            """Dispatch the next non-skipped thread block to SM ``si``;
+            return False when the launch is exhausted."""
+            nonlocal next_tb, dispatch_free, seq_counter
+            nonlocal specified_tb, unit_t0, unit_i0
+            while next_tb < num_blocks:
+                tb_id = next_tb
+                next_tb += 1
+                if has_sampler and not sampler.on_dispatch(tb_id, now, issued):
+                    continue  # fast-forwarded; sampler did the accounting
+                # The global scheduler issues one block every few cycles,
+                # and each block's warps launch back to back: dispatch is
+                # serialized, which also keeps warps from running
+                # phase-locked (as they would if everything started at
+                # cycle 0 of the initial fill).
+                start = dispatch_free if dispatch_free > now else now
+                dispatch_free = start + 4
+                block: BlockTrace = get_block(tb_id)
+                tbst = _TBState(tb_id, len(block.warps))
+                wh = wheaps[si]
+                for stagger, wt in enumerate(block.warps):
+                    heappush(
+                        wh, (start + 2 * stagger, seq_counter, _WarpState(wt, tbst))
+                    )
+                    seq_counter += 1
+                resident[si] += 1
+                if has_sampler and specified_tb < 0:
+                    specified_tb = tb_id
+                    unit_t0 = now
+                    unit_i0 = issued
+                    sampler.on_unit_start(now)
+                return True
+            return False
+
+        def retire_tb(tb: _TBState, si: int, now: int) -> None:
+            nonlocal specified_tb
+            resident[si] -= 1
+            if has_sampler:
+                if tb.tb_id == specified_tb:
+                    specified_tb = -1
+                    sampler.on_unit_complete(
+                        issued - unit_i0, max(1, now - unit_t0), now, issued
+                    )
+                sampler.on_retire(tb.tb_id, now, issued)
+            while resident[si] < occ:
+                if not dispatch_to(si, now):
+                    break
+
+        # Initial greedy fill: thread blocks go to SMs round-robin.
+        for _slot in range(occ):
+            for si in range(num_sms):
+                if not dispatch_to(si, 0):
+                    break
+
+        event_heap: list = []
+        for si in range(num_sms):
+            if wheaps[si]:
+                heappush(event_heap, (0, si))
+
+        # Hot-loop local bindings.
+        mem_load = self.mem.load
+        pop, push = heappop, heappush
+        lrr = cfg.scheduler == "lrr"
+        rec = recorder
+        rec_on = rec is not None
+        if rec_on:
+            rec_bbv = rec.cur_bbv
+            rec_left = rec.unit_insts
+        wall = 0
+
+        while event_heap:
+            t, si = pop(event_heap)
+            wh = wheaps[si]
+            if not wh:
+                continue
+            r, seq, w = pop(wh)
+            if r > t:
+                # Composition changed since this slot was scheduled.
+                push(wh, (r, seq, w))
+                push(event_heap, (r, si))
+                continue
+            pc = w.pc
+            mr = w.memreq[pc]
+            if mr:
+                done = mem_load(si, w.addr[pc], w.spread[pc], mr, t)
+            else:
+                done = t + w.stall[pc]
+            issued += 1
+            per_sm_issued[si] += 1
+            per_sm_last[si] = t
+            if t > wall:
+                wall = t
+            if rec_on:
+                rec_bbv[w.bb[pc]] += 1
+                rec_left -= 1
+                if rec_left == 0:
+                    rec.flush(t + 1, rec.unit_insts)
+                    rec_bbv = rec.cur_bbv
+                    rec_left = rec.unit_insts
+            pc += 1
+            if pc < w.n:
+                w.pc = pc
+                if lrr:
+                    # Loose round-robin: re-queue with a fresh sequence
+                    # number so ready warps are served least-recently-
+                    # issued first.
+                    seq = seq_counter
+                    seq_counter += 1
+                push(wh, (done, seq, w))
+            else:
+                tb = w.tb
+                tb.live -= 1
+                if tb.live == 0:
+                    retire_tb(tb, si, t + 1)
+            if wh:
+                nt = wh[0][0]
+                tp1 = t + 1
+                push(event_heap, (nt if nt > tp1 else tp1, si))
+
+        wall += 1  # the last issue occupies its cycle
+        if has_sampler:
+            sampler.finalize(wall, issued)
+        if rec_on:
+            rec.finalize(wall, rec.unit_insts - rec_left)
+
+        return LaunchResult(
+            launch_id=launch.launch_id,
+            issued_warp_insts=issued,
+            wall_cycles=wall,
+            per_sm_issued=per_sm_issued,
+            per_sm_busy_cycles=[last + 1 for last in per_sm_last],
+            skipped_warp_insts=sampler.skipped_warp_insts if has_sampler else 0,
+            extra_cycles=sampler.extra_cycles if has_sampler else 0.0,
+            mem_stats=self.mem.stats(),
+        )
+
+
+__all__ = ["GPUSimulator", "LaunchResult", "FixedUnitRecorder", "UnitRecord"]

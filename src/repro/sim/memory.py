@@ -1,0 +1,77 @@
+"""Memory hierarchy front end: per-SM L1s -> shared L2 -> DRAM.
+
+One warp memory *instruction* expands to ``mem_req`` line transactions
+(its post-coalescing transaction count from the trace); the warp's stall
+ends when the slowest transaction completes, matching the
+all-lanes-must-return semantics of a SIMT load.
+"""
+
+from __future__ import annotations
+
+from repro.config import GPUConfig
+from repro.sim.caches import LRUCache
+from repro.sim.dram import DRAMModel
+
+
+class MemoryHierarchy:
+    """L1-per-SM / shared-L2 / DRAM hierarchy (Table V geometry)."""
+
+    __slots__ = ("config", "l1s", "l2", "dram", "l1_latency", "l2_latency")
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        self.l1s = [
+            LRUCache(config.l1_kib * 1024, config.l1_line)
+            for _ in range(config.num_sms)
+        ]
+        self.l2 = LRUCache(config.l2_kib * 1024, config.l2_line)
+        self.dram = DRAMModel(config)
+        self.l1_latency = config.l1_latency
+        self.l2_latency = config.l2_latency
+
+    def load(self, sm_id: int, addr: int, spread: int, num_req: int, now: int) -> int:
+        """Perform one warp memory instruction's ``num_req`` transactions
+        starting at ``addr`` with byte ``spread`` between them; return
+        the completion time of the slowest transaction."""
+        l1 = self.l1s[sm_id]
+        l2 = self.l2
+        dram = self.dram
+        l1_done = now + self.l1_latency
+        l2_done = now + self.l2_latency
+        worst = l1_done
+        a = addr
+        for _ in range(num_req):
+            if l1.access(a):
+                done = l1_done
+            elif l2.access(a):
+                done = l2_done
+            else:
+                done = dram.access(a, now) + self.l1_latency
+            if done > worst:
+                worst = done
+            a += spread
+        return worst
+
+    def reset(self, keep_stats: bool = False) -> None:
+        """Invalidate all caches and DRAM bank state (between launches,
+        so every launch's timing is independent of simulation order —
+        a prerequisite for simulating only representative launches)."""
+        for l1 in self.l1s:
+            l1.reset(keep_stats)
+        self.l2.reset(keep_stats)
+        self.dram.reset(keep_stats)
+
+    def stats(self) -> dict:
+        """Aggregate hierarchy statistics."""
+        l1_hits = sum(c.hits for c in self.l1s)
+        l1_total = sum(c.accesses for c in self.l1s)
+        return {
+            "l1_hit_rate": l1_hits / l1_total if l1_total else 0.0,
+            "l2_hit_rate": self.l2.hit_rate,
+            "dram_requests": self.dram.requests,
+            "dram_row_hit_rate": self.dram.row_hit_rate,
+            "dram_mean_queue_delay": self.dram.mean_queue_delay,
+        }
+
+
+__all__ = ["MemoryHierarchy"]

@@ -1,0 +1,49 @@
+"""Kernel trace: an ordered sequence of kernel launches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.launch import LaunchTrace
+
+
+@dataclass
+class KernelTrace:
+    """A GPGPU kernel and all of its launches for one program/input pair.
+
+    ``kind`` records the paper's Fig. 8 classification ("regular" or
+    "irregular") as asserted by the workload generator; the empirical
+    classifier in :mod:`repro.analysis.kernel_types` should agree with it.
+    """
+
+    name: str
+    suite: str
+    kind: str
+    launches: list[LaunchTrace] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("regular", "irregular"):
+            raise ValueError("kind must be 'regular' or 'irregular'")
+        if not self.launches:
+            raise ValueError("a kernel needs at least one launch")
+        for i, launch in enumerate(self.launches):
+            if launch.launch_id != i:
+                raise ValueError("launch IDs must be contiguous from 0")
+
+    @property
+    def num_launches(self) -> int:
+        return len(self.launches)
+
+    @property
+    def num_blocks(self) -> int:
+        """Total thread blocks across all launches (Table VI row)."""
+        return sum(l.num_blocks for l in self.launches)
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelTrace({self.name!r}, suite={self.suite!r}, kind={self.kind!r}, "
+            f"launches={self.num_launches}, blocks={self.num_blocks})"
+        )
+
+
+__all__ = ["KernelTrace"]

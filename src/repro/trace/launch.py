@@ -1,0 +1,79 @@
+"""Kernel-launch trace with lazy, deterministic thread-block synthesis."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Iterator
+
+from repro.trace.blocktrace import BlockTrace
+
+#: Number of recently generated blocks kept alive.  The timing simulator
+#: touches blocks roughly in dispatch order, so a small window covering
+#: the maximum system occupancy is enough to make regeneration rare.
+_BLOCK_CACHE_SIZE = 256
+
+
+class LaunchTrace:
+    """One kernel launch: ``num_blocks`` thread blocks, dispatched in
+    thread-block-ID order by the greedy global scheduler (Section II-A).
+
+    Thread-block traces are synthesized on demand by ``factory(tb_id)``
+    and memoized in a small LRU window.  The factory must be
+    deterministic: calling it twice with the same ID yields identical
+    traces, which is what lets the functional profiler and the timing
+    simulator agree without storing the trace.
+    """
+
+    def __init__(
+        self,
+        kernel_name: str,
+        launch_id: int,
+        num_blocks: int,
+        warps_per_block: int,
+        factory: Callable[[int], BlockTrace],
+        num_bbs: int = 1,
+    ):
+        if num_blocks <= 0:
+            raise ValueError("launch with no thread blocks")
+        if warps_per_block <= 0:
+            raise ValueError("warps_per_block must be positive")
+        self.kernel_name = kernel_name
+        self.launch_id = launch_id
+        self.num_blocks = num_blocks
+        self.warps_per_block = warps_per_block
+        self.num_bbs = num_bbs
+        self._factory = factory
+        self._cache: OrderedDict[int, BlockTrace] = OrderedDict()
+
+    def block(self, tb_id: int) -> BlockTrace:
+        """Return the trace of thread block ``tb_id`` (0-based)."""
+        if not 0 <= tb_id < self.num_blocks:
+            raise IndexError(f"tb_id {tb_id} out of range [0, {self.num_blocks})")
+        cached = self._cache.get(tb_id)
+        if cached is not None:
+            self._cache.move_to_end(tb_id)
+            return cached
+        block = self._factory(tb_id)
+        if block.tb_id != tb_id:
+            raise ValueError("factory returned a block with the wrong ID")
+        self._cache[tb_id] = block
+        if len(self._cache) > _BLOCK_CACHE_SIZE:
+            self._cache.popitem(last=False)
+        return block
+
+    def iter_blocks(self) -> Iterator[BlockTrace]:
+        """Iterate thread blocks in dispatch (ID) order."""
+        for tb_id in range(self.num_blocks):
+            yield self.block(tb_id)
+
+    def __len__(self) -> int:
+        return self.num_blocks
+
+    def __repr__(self) -> str:
+        return (
+            f"LaunchTrace({self.kernel_name!r}, launch={self.launch_id}, "
+            f"blocks={self.num_blocks}, warps_per_block={self.warps_per_block})"
+        )
+
+
+__all__ = ["LaunchTrace"]

@@ -1,0 +1,26 @@
+"""Synthetic GPGPU workloads calibrated to the paper's Table VI."""
+
+from repro.workloads.base import LaunchSpec, Segment, build_kernel, scaled
+from repro.workloads.registry import (
+    ALL_KERNELS,
+    IRREGULAR_KERNELS,
+    REGULAR_KERNELS,
+    TABLE_VI,
+    BenchmarkInfo,
+    benchmark_info,
+    get_workload,
+)
+
+__all__ = [
+    "Segment",
+    "LaunchSpec",
+    "build_kernel",
+    "scaled",
+    "ALL_KERNELS",
+    "IRREGULAR_KERNELS",
+    "REGULAR_KERNELS",
+    "TABLE_VI",
+    "BenchmarkInfo",
+    "benchmark_info",
+    "get_workload",
+]

@@ -1,0 +1,158 @@
+"""Parboil-style kernels: mri (gridding), spmv, lbm.
+
+mri and spmv are irregular (per-block work follows data density / row
+lengths); lbm is a textbook regular streaming kernel.
+"""
+
+from __future__ import annotations
+
+from repro.trace import KernelTrace
+from repro.workloads.base import LaunchSpec, Segment, build_kernel, scaled
+
+
+def build_mri(scale: float = 1.0, seed: int = 2014) -> KernelTrace:
+    """MRI gridding: 4 launches; sample bins are roughly sorted by
+    density, so thread-block work decays across the launch in two broad
+    plateaus — long homogeneous regions separated by a density step."""
+    n_launches = 4
+    total = scaled(18158, scale, floor=n_launches * 2000)
+    per_launch = total // n_launches
+
+    specs = []
+    for _ in range(n_launches):
+        dense = max(1, int(per_launch * 0.35))
+        sparse = per_launch - dense
+        segments = [
+            Segment(
+                count=dense,
+                insts_per_warp=88,
+                size_cov=0.18,
+                mem_ratio=0.12,
+                locality=0.35,
+                coalesce_mean=4.0,
+                active_mean=28.0,
+                pattern="gather",
+                working_set=1 << 25,
+                locality_jitter=0.06,
+                coalesce_jitter=0.15,
+            ),
+            Segment(
+                count=sparse,
+                insts_per_warp=36,
+                size_cov=0.12,
+                mem_ratio=0.09,
+                locality=0.45,
+                coalesce_mean=2.0,
+                active_mean=30.0,
+                pattern="gather",
+                working_set=1 << 23,
+                locality_jitter=0.06,
+                coalesce_jitter=0.15,
+            ),
+        ]
+        specs.append(
+            LaunchSpec(segments=tuple(segments), warps_per_block=8, bb_offset=0)
+        )
+    return build_kernel("mri", "parboil", "irregular", specs, seed)
+
+
+def build_spmv(scale: float = 1.0, seed: int = 2014) -> KernelTrace:
+    """Sparse matrix-vector multiply: 50 identical launches (iterative
+    solver) — a single inter-launch cluster — but row-length bands make
+    the interior of each launch heterogeneous."""
+    n_launches = 50
+    total = scaled(38250, scale, floor=n_launches * 90)
+    per_launch = total // n_launches
+
+    dense = max(1, int(per_launch * 0.2))
+    medium = max(1, int(per_launch * 0.5))
+    sparse = per_launch - dense - medium
+    segments = [
+        Segment(
+            count=dense,
+            insts_per_warp=72,
+            size_cov=0.18,
+            mem_ratio=0.22,
+            locality=0.25,
+            coalesce_mean=5.0,
+            active_mean=27.0,
+            pattern="gather",
+            working_set=1 << 25,
+            locality_jitter=0.06,
+            coalesce_jitter=0.15,
+        ),
+        Segment(
+            count=medium,
+            insts_per_warp=44,
+            size_cov=0.12,
+            mem_ratio=0.16,
+            locality=0.3,
+            coalesce_mean=3.0,
+            active_mean=29.0,
+            pattern="gather",
+            working_set=1 << 24,
+            locality_jitter=0.06,
+            coalesce_jitter=0.15,
+        ),
+    ]
+    if sparse > 0:
+        segments.append(
+            Segment(
+                count=sparse,
+                insts_per_warp=24,
+                size_cov=0.10,
+                mem_ratio=0.12,
+                locality=0.35,
+                coalesce_mean=2.0,
+                active_mean=30.0,
+                pattern="gather",
+                working_set=1 << 23,
+                locality_jitter=0.06,
+                coalesce_jitter=0.15,
+            )
+        )
+    spec = LaunchSpec(
+        segments=tuple(segments),
+        warps_per_block=8,
+        bb_offset=0,
+        data_key=0,
+        perturb=0.06,
+    )
+    return build_kernel(
+        "spmv", "parboil", "irregular", [spec] * n_launches, seed
+    )
+
+
+def build_lbm(scale: float = 1.0, seed: int = 2014) -> KernelTrace:
+    """Lattice-Boltzmann: 8 identical launches of uniform, perfectly
+    coalesced streaming thread blocks — the canonical regular kernel."""
+    n_launches = 8
+    total = scaled(108000, scale, floor=n_launches * 450)
+    per_launch = total // n_launches
+
+    spec = LaunchSpec(
+        segments=(
+            Segment(
+                count=per_launch,
+                insts_per_warp=48,
+                size_cov=0.0,
+                mem_ratio=0.25,
+                locality=0.1,
+                coalesce_mean=1.0,
+                active_mean=32.0,
+                pattern="stream",
+                working_set=1 << 26,
+                locality_jitter=0.05,
+                coalesce_jitter=0.20,
+                fp_ratio=0.15,
+            ),
+        ),
+        warps_per_block=6,
+        bb_offset=0,
+        data_key=0,
+        perturb=0.06,
+    )
+    return build_kernel("lbm", "parboil", "regular", [spec] * n_launches, seed)
+
+
+__all__ = ["build_mri", "build_spmv", "build_lbm"]

@@ -1,0 +1,165 @@
+"""Rodinia-style kernels: cfd, kmeans, hotspot, stream(cluster).
+
+All four are regular (Table VI type II): uniform thread blocks and
+homogeneous launch schedules.  They differ in where their sampling
+savings come from — cfd/kmeans/stream have many homogeneous launches
+(inter-launch sampling wins), hotspot has a single launch (intra-launch
+only, as Fig. 11 notes).
+"""
+
+from __future__ import annotations
+
+from repro.trace import KernelTrace
+from repro.workloads.base import LaunchSpec, Segment, build_kernel, scaled
+
+
+def build_cfd(scale: float = 1.0, seed: int = 2014) -> KernelTrace:
+    """CFD Euler solver: 100 identical time-step launches."""
+    n_launches = 100
+    total = scaled(50600, scale, floor=n_launches * 60)
+    per_launch = total // n_launches
+
+    spec = LaunchSpec(
+        segments=(
+            Segment(
+                count=per_launch,
+                insts_per_warp=40,
+                size_cov=0.0,
+                mem_ratio=0.15,
+                locality=0.4,
+                coalesce_mean=2.0,
+                active_mean=32.0,
+                pattern="stream",
+                working_set=1 << 25,
+                locality_jitter=0.07,
+                coalesce_jitter=0.20,
+                fp_ratio=0.20,
+            ),
+        ),
+        warps_per_block=8,
+        bb_offset=0,
+        data_key=0,
+        perturb=0.06,
+    )
+    return build_kernel("cfd", "rodinia", "regular", [spec] * n_launches, seed)
+
+
+def build_kmeans(scale: float = 1.0, seed: int = 2014) -> KernelTrace:
+    """K-means: 30 launches alternating between the point-assignment
+    pass (memory-lean distance computation) and the centroid-update pass
+    (gather-heavy) — two clean inter-launch clusters."""
+    n_launches = 30
+    total = scaled(58080, scale, floor=n_launches * 90)
+    per_launch = total // n_launches
+
+    assign = LaunchSpec(
+        segments=(
+            Segment(
+                count=per_launch,
+                insts_per_warp=56,
+                size_cov=0.0,
+                mem_ratio=0.08,
+                locality=0.6,
+                coalesce_mean=1.0,
+                active_mean=32.0,
+                pattern="stream",
+                working_set=1 << 24,
+                locality_jitter=0.07,
+                coalesce_jitter=0.20,
+                fp_ratio=0.25,
+            ),
+        ),
+        warps_per_block=6,
+        bb_offset=0,
+        data_key=0,
+        perturb=0.06,
+    )
+    update = LaunchSpec(
+        segments=(
+            Segment(
+                count=per_launch,
+                insts_per_warp=40,
+                size_cov=0.0,
+                mem_ratio=0.18,
+                locality=0.3,
+                coalesce_mean=3.0,
+                active_mean=32.0,
+                pattern="gather",
+                working_set=1 << 25,
+                locality_jitter=0.07,
+                coalesce_jitter=0.20,
+                fp_ratio=0.10,
+            ),
+        ),
+        warps_per_block=6,
+        bb_offset=12,  # different code path -> different basic blocks
+        data_key=1,
+        perturb=0.06,
+    )
+    specs = [assign if i % 2 == 0 else update for i in range(n_launches)]
+    return build_kernel("kmeans", "rodinia", "regular", specs, seed)
+
+
+def build_hotspot(scale: float = 1.0, seed: int = 2014) -> KernelTrace:
+    """Hotspot thermal stencil: one launch of uniform, cache-friendly
+    stencil thread blocks (the intra-launch-only case of Fig. 11)."""
+    total = scaled(1849, scale, floor=1849)
+    spec = LaunchSpec(
+        segments=(
+            Segment(
+                count=total,
+                insts_per_warp=52,
+                size_cov=0.0,
+                mem_ratio=0.12,
+                locality=0.8,
+                coalesce_mean=1.0,
+                active_mean=32.0,
+                pattern="stream",
+                working_set=1 << 23,
+                locality_jitter=0.07,
+                coalesce_jitter=0.20,
+                fp_ratio=0.15,
+            ),
+        ),
+        warps_per_block=16,
+        bb_offset=0,
+    )
+    return build_kernel("hotspot", "rodinia", "regular", [spec], seed)
+
+
+def build_stream(scale: float = 1.0, seed: int = 2014) -> KernelTrace:
+    """StreamCluster: hundreds of tiny homogeneous launches (the pgain
+    kernel is re-launched per candidate center); nearly all savings come
+    from inter-launch sampling (Fig. 11)."""
+    n_launches = 150
+    total = max(scaled(2688, scale, floor=n_launches * 16), n_launches * 16)
+    per_launch = max(16, total // n_launches)
+
+    spec = LaunchSpec(
+        segments=(
+            Segment(
+                count=per_launch,
+                insts_per_warp=80,
+                size_cov=0.0,
+                mem_ratio=0.18,
+                locality=0.3,
+                coalesce_mean=2.0,
+                active_mean=32.0,
+                pattern="gather",
+                working_set=1 << 23,
+                locality_jitter=0.07,
+                coalesce_jitter=0.20,
+                fp_ratio=0.15,
+            ),
+        ),
+        warps_per_block=4,
+        bb_offset=0,
+        data_key=0,
+        perturb=0.06,
+    )
+    return build_kernel(
+        "stream", "rodinia", "regular", [spec] * n_launches, seed
+    )
+
+
+__all__ = ["build_cfd", "build_kmeans", "build_hotspot", "build_stream"]

@@ -1,0 +1,103 @@
+"""CUDA-SDK-style kernels: black(Scholes), conv(olutionSeparable).
+
+Both regular: uniform thread blocks, homogeneous launch schedules.
+convolutionSeparable alternates row/column passes, giving exactly two
+inter-launch clusters.
+"""
+
+from __future__ import annotations
+
+from repro.trace import KernelTrace
+from repro.workloads.base import LaunchSpec, Segment, build_kernel, scaled
+
+
+def build_black(scale: float = 1.0, seed: int = 2014) -> KernelTrace:
+    """BlackScholes option pricing: 8 identical compute-bound launches
+    with perfectly coalesced streaming loads."""
+    n_launches = 8
+    total = scaled(41760, scale, floor=n_launches * 1400)
+    per_launch = total // n_launches
+
+    spec = LaunchSpec(
+        segments=(
+            Segment(
+                count=per_launch,
+                insts_per_warp=64,
+                size_cov=0.0,
+                mem_ratio=0.06,
+                locality=0.2,
+                coalesce_mean=1.0,
+                active_mean=32.0,
+                pattern="stream",
+                working_set=1 << 26,
+                locality_jitter=0.06,
+                coalesce_jitter=0.20,
+                fp_ratio=0.30,
+                sfu_ratio=0.10,
+            ),
+        ),
+        warps_per_block=6,
+        bb_offset=0,
+        data_key=0,
+        perturb=0.06,
+    )
+    return build_kernel("black", "sdk", "regular", [spec] * n_launches, seed)
+
+
+def build_conv(scale: float = 1.0, seed: int = 2014) -> KernelTrace:
+    """convolutionSeparable: 16 launches alternating row pass (coalesced
+    streaming) and column pass (strided, partially coalesced) — two
+    inter-launch clusters, uniform thread blocks within each."""
+    n_launches = 16
+    total = scaled(202752, scale, floor=n_launches * 500)
+    per_launch = total // n_launches
+
+    rows = LaunchSpec(
+        segments=(
+            Segment(
+                count=per_launch,
+                insts_per_warp=32,
+                size_cov=0.0,
+                mem_ratio=0.18,
+                locality=0.35,
+                coalesce_mean=1.0,
+                active_mean=32.0,
+                pattern="stream",
+                working_set=1 << 26,
+                locality_jitter=0.06,
+                coalesce_jitter=0.20,
+                fp_ratio=0.15,
+            ),
+        ),
+        warps_per_block=6,
+        bb_offset=0,
+        data_key=0,
+        perturb=0.06,
+    )
+    cols = LaunchSpec(
+        segments=(
+            Segment(
+                count=per_launch,
+                insts_per_warp=32,
+                size_cov=0.0,
+                mem_ratio=0.18,
+                locality=0.35,
+                coalesce_mean=4.0,
+                active_mean=32.0,
+                pattern="stream",
+                working_set=1 << 26,
+                locality_jitter=0.06,
+                coalesce_jitter=0.20,
+                fp_ratio=0.15,
+            ),
+        ),
+        warps_per_block=6,
+        bb_offset=10,  # column-pass code variant
+        data_key=1,
+        perturb=0.06,
+    )
+    specs = [rows if i % 2 == 0 else cols for i in range(n_launches)]
+    return build_kernel("conv", "sdk", "regular", specs, seed)
+
+
+__all__ = ["build_black", "build_conv"]

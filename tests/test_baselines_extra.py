@@ -1,0 +1,86 @@
+"""Tests for the systematic baseline and the k-means inter-launch plan."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import estimate_systematic, run_full
+from repro.config import GPUConfig
+from repro.core.interlaunch import plan_inter_launch_kmeans
+from repro.profiler import profile_kernel
+
+from tests.conftest import make_uniform_kernel
+
+
+@pytest.fixture(scope="module")
+def full_run():
+    kernel = make_uniform_kernel(num_launches=3, blocks_per_launch=120)
+    return run_full(
+        kernel, GPUConfig(num_sms=4, warps_per_sm=16), unit_insts=2000
+    )
+
+
+class TestSystematic:
+    def test_period_controls_sample_size(self, full_run):
+        est = estimate_systematic(full_run, period=10)
+        assert est.sample_size == pytest.approx(0.1, abs=0.05)
+        dense = estimate_systematic(full_run, period=2)
+        assert dense.sample_size > est.sample_size
+
+    def test_period_one_is_exact(self, full_run):
+        est = estimate_systematic(full_run, period=1)
+        assert est.sample_size == 1.0
+        assert est.overall_ipc == pytest.approx(full_run.overall_ipc, rel=0.02)
+
+    def test_accuracy_on_homogeneous_kernel(self, full_run):
+        est = estimate_systematic(
+            full_run, period=10, rng=np.random.default_rng(3)
+        )
+        err = abs(est.overall_ipc - full_run.overall_ipc) / full_run.overall_ipc
+        assert err < 0.15
+
+    def test_deterministic_given_rng(self, full_run):
+        a = estimate_systematic(full_run, 10, np.random.default_rng(5))
+        b = estimate_systematic(full_run, 10, np.random.default_rng(5))
+        assert a.overall_ipc == b.overall_ipc
+
+    def test_rejects_bad_period(self, full_run):
+        with pytest.raises(ValueError):
+            estimate_systematic(full_run, period=0)
+
+    def test_rejects_unitless_run(self):
+        kernel = make_uniform_kernel(num_launches=1)
+        bare = run_full(kernel, GPUConfig(num_sms=2, warps_per_sm=8))
+        with pytest.raises(ValueError):
+            estimate_systematic(bare)
+
+
+class TestKMeansInterLaunchPlan:
+    def test_plan_is_well_formed(self):
+        kernel = make_uniform_kernel(num_launches=6, blocks_per_launch=48)
+        profile = profile_kernel(kernel)
+        plan = plan_inter_launch_kmeans(
+            profile, rng=np.random.default_rng(1)
+        )
+        assert plan.num_launches == 6
+        assert 1 <= plan.num_clusters <= 6
+        for launch_id in range(6):
+            rep = plan.representative_of(launch_id)
+            assert plan.cluster_of(rep) == plan.cluster_of(launch_id)
+        assert plan.cluster_sizes().sum() == 6
+
+    def test_usable_by_pipeline(self):
+        """A k-means plan plugs into the estimate composition."""
+        from repro.core.estimates import compose_kernel_estimate
+        from repro.sim import GPUSimulator
+
+        kernel = make_uniform_kernel(num_launches=4, blocks_per_launch=64)
+        profile = profile_kernel(kernel)
+        plan = plan_inter_launch_kmeans(profile, rng=np.random.default_rng(2))
+        sim = GPUSimulator(GPUConfig(num_sms=2, warps_per_sm=8))
+        reps = {
+            lid: sim.run_launch(kernel.launches[lid])
+            for lid in plan.simulated_launches
+        }
+        est = compose_kernel_estimate(profile, plan, reps)
+        assert est.overall_ipc > 0
+        assert est.total_warp_insts == profile.total_warp_insts

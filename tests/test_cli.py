@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro._cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_kernel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope"])
+
+    def test_scale_parsed(self):
+        args = build_parser().parse_args(["--scale", "0.5", "list"])
+        assert args.scale == 0.5
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "convolutionSeparable" in out
+        assert "202752" in out  # Table VI conv block count
+
+    def test_model(self, capsys):
+        assert main(["model"]) == 0
+        out = capsys.readouterr().out
+        assert "p0.05M100N4" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "NB" in out and "slowdown" in out
+
+    def test_run_small_kernel(self, capsys):
+        # stream is the cheapest benchmark end to end.
+        assert main(["--scale", "0.02", "run", "stream"]) == 0
+        out = capsys.readouterr().out
+        assert "err(tbp)" in out and "stream" in out
+
+    def test_breakdown_subset(self, capsys):
+        assert main(["--scale", "0.02", "breakdown", "stream"]) == 0
+        out = capsys.readouterr().out
+        assert "intra-launch" in out
+
+    def test_unknown_kernel_subset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["headline", "bogus"])

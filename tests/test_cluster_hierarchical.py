@@ -1,0 +1,116 @@
+"""Tests for complete-linkage hierarchical clustering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import hierarchical_cluster, pairwise_euclidean
+
+
+class TestPairwiseEuclidean:
+    def test_known_distances(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = pairwise_euclidean(pts)
+        assert d[0, 1] == pytest.approx(5.0)
+        assert d[0, 0] == 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(20, 3))
+        d = pairwise_euclidean(pts)
+        np.testing.assert_allclose(d, d.T)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pairwise_euclidean(np.arange(5.0))
+
+
+class TestHierarchicalCluster:
+    def test_single_point(self):
+        res = hierarchical_cluster(np.array([[1.0, 2.0]]), 0.5)
+        assert res.num_clusters == 1
+        assert res.representatives[0] == 0
+
+    def test_two_well_separated_groups(self):
+        pts = np.array([[0.0], [0.1], [0.05], [5.0], [5.1]])
+        res = hierarchical_cluster(pts, threshold=0.5)
+        assert res.num_clusters == 2
+        assert res.labels[0] == res.labels[1] == res.labels[2]
+        assert res.labels[3] == res.labels[4]
+        assert res.labels[0] != res.labels[3]
+
+    def test_threshold_zero_keeps_distinct_points_apart(self):
+        pts = np.array([[0.0], [1.0], [2.0]])
+        res = hierarchical_cluster(pts, threshold=0.0)
+        assert res.num_clusters == 3
+
+    def test_threshold_zero_merges_identical_points(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 0.0]])
+        res = hierarchical_cluster(pts, threshold=0.0)
+        assert res.labels[0] == res.labels[1]
+        assert res.num_clusters == 2
+
+    def test_huge_threshold_single_cluster(self):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(30, 4))
+        res = hierarchical_cluster(pts, threshold=1e9)
+        assert res.num_clusters == 1
+        assert res.sizes[0] == 30
+
+    def test_representative_is_member_closest_to_center(self):
+        pts = np.array([[0.0], [1.0], [2.0]])
+        res = hierarchical_cluster(pts, threshold=10.0)
+        assert res.representatives[0] == 1  # the median point
+
+    def test_labels_contiguous_from_zero(self):
+        rng = np.random.default_rng(2)
+        pts = rng.normal(size=(40, 2)) * 5
+        res = hierarchical_cluster(pts, threshold=1.0)
+        assert set(res.labels) == set(range(res.num_clusters))
+
+    def test_weights_sum_to_one(self):
+        rng = np.random.default_rng(3)
+        pts = rng.normal(size=(25, 2))
+        res = hierarchical_cluster(pts, threshold=1.0)
+        total = sum(res.weight(c) for c in range(res.num_clusters))
+        assert total == pytest.approx(1.0)
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            hierarchical_cluster(np.zeros((3, 1)), -1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            hierarchical_cluster(np.zeros((0, 2)), 1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(2, 25),
+        d=st.integers(1, 4),
+        threshold=st.floats(0.0, 3.0),
+        seed=st.integers(0, 1000),
+    )
+    def test_max_intra_cluster_distance_bounded(self, n, d, threshold, seed):
+        """The paper's sigma guarantee: within every returned cluster the
+        max pairwise distance is <= threshold."""
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(n, d))
+        res = hierarchical_cluster(pts, threshold)
+        dist = pairwise_euclidean(pts)
+        for c in range(res.num_clusters):
+            members = np.flatnonzero(res.labels == c)
+            if len(members) > 1:
+                sub = dist[np.ix_(members, members)]
+                assert sub.max() <= threshold + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 25), seed=st.integers(0, 1000))
+    def test_every_point_labelled_and_reps_valid(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(n, 2))
+        res = hierarchical_cluster(pts, 0.7)
+        assert len(res.labels) == n
+        assert res.sizes.sum() == n
+        for c, rep in enumerate(res.representatives):
+            assert res.labels[rep] == c

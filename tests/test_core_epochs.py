@@ -1,0 +1,114 @@
+"""Tests for epoch construction (Eq. 4 / Eq. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.epochs import build_epochs
+from repro.profiler.functional import LaunchProfile
+
+
+def make_profile(warp_insts, mem_requests, thread_insts=None):
+    warp_insts = np.asarray(warp_insts, dtype=np.int64)
+    mem_requests = np.asarray(mem_requests, dtype=np.int64)
+    if thread_insts is None:
+        thread_insts = warp_insts * 32
+    return LaunchProfile(
+        kernel_name="k",
+        launch_id=0,
+        warps_per_block=4,
+        warp_insts=warp_insts,
+        thread_insts=np.asarray(thread_insts, dtype=np.int64),
+        mem_requests=mem_requests,
+    )
+
+
+class TestBuildEpochs:
+    def test_epoch_partition(self):
+        prof = make_profile([100] * 10, [10] * 10)
+        table = build_epochs(prof, occupancy=4)
+        assert table.num_epochs == 3  # 4 + 4 + 2
+        np.testing.assert_array_equal(table.starts, [0, 4, 8])
+        np.testing.assert_array_equal(table.counts, [4, 4, 2])
+        assert table.num_blocks == 10
+
+    def test_epoch_of_block(self):
+        prof = make_profile([100] * 10, [10] * 10)
+        table = build_epochs(prof, occupancy=4)
+        assert table.epoch_of_block(0) == 0
+        assert table.epoch_of_block(3) == 0
+        assert table.epoch_of_block(4) == 1
+        assert table.epoch_of_block(9) == 2
+        with pytest.raises(IndexError):
+            table.epoch_of_block(10)
+
+    def test_stall_probability_is_mean_of_block_ratios(self):
+        # Eq. 5: mean over blocks of x/y, not sum(x)/sum(y).
+        prof = make_profile([100, 200], [10, 40])
+        table = build_epochs(prof, occupancy=2)
+        expected = (10 / 100 + 40 / 200) / 2
+        assert table.stall_probability[0] == pytest.approx(expected)
+
+    def test_uniform_blocks_zero_variation(self):
+        prof = make_profile([100] * 8, [20] * 8)
+        table = build_epochs(prof, occupancy=4)
+        np.testing.assert_allclose(table.variation_factor, 0.0, atol=1e-12)
+
+    def test_outlier_block_raises_variation_factor(self):
+        warp = [100] * 8
+        warp[2] = 2000  # outlier in epoch 0
+        prof = make_profile(warp, [10] * 8)
+        table = build_epochs(prof, occupancy=4)
+        assert table.variation_factor[0] > 0.5
+        assert table.variation_factor[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_variation_factor_is_max_of_x_and_y_cov(self):
+        # Blocks with equal warp insts but wildly different mem requests:
+        # CoV(Y) = 0 but CoV(X) large -> VF = CoV(X).
+        prof = make_profile([100] * 4, [1, 1, 1, 61])
+        table = build_epochs(prof, occupancy=4)
+        x = np.array([1, 1, 1, 61], dtype=float)
+        expected = x.std() / x.mean()
+        assert table.variation_factor[0] == pytest.approx(expected)
+
+    def test_intra_feature_vectors_normalized_by_mean(self):
+        prof = make_profile([100] * 8, [10] * 4 + [30] * 4)
+        table = build_epochs(prof, occupancy=4)
+        vecs = table.intra_feature_vectors()
+        assert vecs.shape == (2, 1)
+        assert vecs.mean() == pytest.approx(1.0)
+        assert vecs[1, 0] == pytest.approx(3.0 * vecs[0, 0])
+
+    def test_occupancy_larger_than_launch(self):
+        prof = make_profile([100] * 3, [10] * 3)
+        table = build_epochs(prof, occupancy=100)
+        assert table.num_epochs == 1
+        assert table.counts[0] == 3
+
+    def test_rejects_bad_occupancy(self):
+        prof = make_profile([100], [10])
+        with pytest.raises(ValueError):
+            build_epochs(prof, occupancy=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(1, 60),
+        occ=st.integers(1, 20),
+        seed=st.integers(0, 100),
+    )
+    def test_epochs_partition_every_block(self, n, occ, seed):
+        rng = np.random.default_rng(seed)
+        warp = rng.integers(10, 1000, n)
+        mem = rng.integers(1, 9, n) * warp // 10 + 1
+        prof = make_profile(warp, mem)
+        table = build_epochs(prof, occ)
+        assert table.counts.sum() == n
+        assert (table.counts >= 1).all()
+        assert (table.counts <= occ).all()
+        # Vectorized stall probability matches the naive loop.
+        for e in range(table.num_epochs):
+            lo = table.starts[e]
+            hi = lo + table.counts[e]
+            naive = np.mean(mem[lo:hi] / warp[lo:hi])
+            assert table.stall_probability[e] == pytest.approx(naive)

@@ -1,0 +1,132 @@
+"""Tests for IPC composition (Table IV / Eq. 1) and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimates import (
+    compose_kernel_estimate,
+    geometric_mean,
+    sampling_error,
+)
+from repro.core.interlaunch import InterLaunchPlan
+from repro.profiler.functional import KernelProfile, LaunchProfile
+from repro.sim.gpu import LaunchResult
+
+
+def launch_profile(launch_id, total_insts, blocks=4):
+    per = total_insts // blocks
+    return LaunchProfile(
+        kernel_name="k",
+        launch_id=launch_id,
+        warps_per_block=2,
+        warp_insts=np.full(blocks, per, dtype=np.int64),
+        thread_insts=np.full(blocks, per * 32, dtype=np.int64),
+        mem_requests=np.full(blocks, max(1, per // 10), dtype=np.int64),
+    )
+
+
+def launch_result(launch_id, issued, wall, skipped=0, extra=0.0):
+    return LaunchResult(
+        launch_id=launch_id,
+        issued_warp_insts=issued,
+        wall_cycles=wall,
+        per_sm_issued=[issued],
+        per_sm_busy_cycles=[wall],
+        skipped_warp_insts=skipped,
+        extra_cycles=extra,
+    )
+
+
+def make_plan(labels, reps):
+    return InterLaunchPlan(
+        labels=np.asarray(labels, dtype=np.int64),
+        representatives=np.asarray(reps, dtype=np.int64),
+        features=np.zeros((len(labels), 4)),
+    )
+
+
+class TestComposeKernelEstimate:
+    def test_single_fully_simulated_launch(self):
+        profile = KernelProfile("k", [launch_profile(0, 1000)])
+        plan = make_plan([0], [0])
+        rep = launch_result(0, issued=1000, wall=500)
+        est = compose_kernel_estimate(profile, plan, {0: rep})
+        assert est.overall_ipc == pytest.approx(2.0)
+        assert est.sample_size == 1.0
+        assert est.total_warp_insts == 1000
+
+    def test_unsimulated_launch_inherits_rep_ipc(self):
+        """Table IV: an unsimulated launch's cycles are its own
+        instructions divided by the representative's IPC."""
+        profile = KernelProfile(
+            "k", [launch_profile(0, 1000), launch_profile(1, 3000)]
+        )
+        plan = make_plan([0, 0], [0])
+        rep = launch_result(0, issued=1000, wall=500)  # IPC 2
+        est = compose_kernel_estimate(profile, plan, {0: rep})
+        assert est.launches[1].est_cycles == pytest.approx(1500)
+        assert est.overall_ipc == pytest.approx(2.0)
+        assert est.sample_size == pytest.approx(1000 / 4000)
+        assert not est.launches[1].simulated
+
+    def test_intra_sampled_rep_uses_est_cycles(self):
+        profile = KernelProfile("k", [launch_profile(0, 1000)])
+        plan = make_plan([0], [0])
+        # 600 simulated in 300 cycles + 400 skipped credited 200 cycles.
+        rep = launch_result(0, issued=600, wall=300, skipped=400, extra=200.0)
+        est = compose_kernel_estimate(profile, plan, {0: rep})
+        assert est.launches[0].est_cycles == pytest.approx(500)
+        assert est.overall_ipc == pytest.approx(2.0)
+        assert est.sample_size == pytest.approx(0.6)
+
+    def test_two_clusters(self):
+        profile = KernelProfile(
+            "k",
+            [launch_profile(0, 1000), launch_profile(1, 1000),
+             launch_profile(2, 2000)],
+        )
+        plan = make_plan([0, 0, 1], [0, 2])
+        reps = {
+            0: launch_result(0, issued=1000, wall=1000),  # IPC 1
+            2: launch_result(2, issued=2000, wall=500),  # IPC 4
+        }
+        est = compose_kernel_estimate(profile, plan, reps)
+        # cycles: 1000 + 1000 + 500 = 2500 for 4000 insts
+        assert est.overall_ipc == pytest.approx(4000 / 2500)
+
+    def test_missing_rep_result_rejected(self):
+        profile = KernelProfile("k", [launch_profile(0, 1000)])
+        plan = make_plan([0], [0])
+        with pytest.raises(ValueError):
+            compose_kernel_estimate(profile, plan, {})
+
+    def test_plan_profile_mismatch_rejected(self):
+        profile = KernelProfile("k", [launch_profile(0, 1000)])
+        plan = make_plan([0, 0], [0])
+        with pytest.raises(ValueError):
+            compose_kernel_estimate(
+                profile, plan, {0: launch_result(0, 1000, 100)}
+            )
+
+
+class TestMetrics:
+    def test_sampling_error(self):
+        assert sampling_error(11.0, 10.0) == pytest.approx(0.1)
+        assert sampling_error(9.0, 10.0) == pytest.approx(0.1)
+        assert sampling_error(10.0, 10.0) == 0.0
+
+    def test_sampling_error_requires_positive_reference(self):
+        with pytest.raises(ValueError):
+            sampling_error(1.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([4.0, 1.0]) == pytest.approx(2.0)
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_geometric_mean_floors_zeros(self):
+        # A perfect kernel (error 0) must not zero the geomean.
+        assert geometric_mean([0.0, 1.0]) > 0
+
+    def test_geometric_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

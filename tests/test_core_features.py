@@ -1,0 +1,84 @@
+"""Tests for Eq. 2 inter-launch feature vectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    FEATURE_NAMES,
+    inter_feature_matrix,
+    raw_inter_features,
+)
+from repro.profiler.functional import KernelProfile, LaunchProfile
+
+
+def launch_profile(launch_id, warp, thread, mem):
+    n = len(warp)
+    return LaunchProfile(
+        kernel_name="k",
+        launch_id=launch_id,
+        warps_per_block=4,
+        warp_insts=np.asarray(warp, dtype=np.int64),
+        thread_insts=np.asarray(thread, dtype=np.int64),
+        mem_requests=np.asarray(mem, dtype=np.int64),
+    )
+
+
+def two_launch_profile():
+    a = launch_profile(0, [100, 100], [3200, 3200], [10, 10])
+    b = launch_profile(1, [300, 100], [9600, 3200], [60, 20])
+    return KernelProfile(kernel_name="k", launches=[a, b])
+
+
+class TestRawFeatures:
+    def test_columns_are_the_four_eq2_features(self):
+        prof = two_launch_profile()
+        raw = raw_inter_features(prof)
+        assert raw.shape == (2, 4)
+        assert raw[0, 0] == 6400  # thread insts
+        assert raw[0, 1] == 200  # warp insts
+        assert raw[0, 2] == 20  # memory requests
+        assert raw[0, 3] == pytest.approx(0.0)  # uniform blocks -> CoV 0
+        assert raw[1, 3] > 0  # mixed block sizes
+
+    def test_feature_names_length(self):
+        assert len(FEATURE_NAMES) == 4
+
+
+class TestFeatureMatrix:
+    def test_columns_normalized_by_mean(self):
+        feats = inter_feature_matrix(two_launch_profile())
+        means = feats.mean(axis=0)
+        # Columns with nonzero raw values average to exactly 1.
+        np.testing.assert_allclose(means[:3], 1.0)
+
+    def test_identical_launches_identical_vectors(self):
+        a = launch_profile(0, [100, 100], [3200, 3200], [10, 10])
+        b = launch_profile(1, [100, 100], [3200, 3200], [10, 10])
+        feats = inter_feature_matrix(KernelProfile("k", [a, b]))
+        np.testing.assert_allclose(feats[0], feats[1])
+
+    def test_control_divergence_separates_equal_thread_insts(self):
+        """Two launches with equal thread instructions but different warp
+        instructions (the paper's 1-warp vs 32-warp example) differ in
+        feature 2 only."""
+        a = launch_profile(0, [100], [3200], [10])
+        b = launch_profile(1, [3200], [3200], [10])
+        feats = inter_feature_matrix(KernelProfile("k", [a, b]))
+        assert feats[0, 0] == pytest.approx(feats[1, 0])  # same size
+        assert feats[0, 1] != pytest.approx(feats[1, 1])  # divergence
+
+    def test_ablation_mask(self):
+        feats = inter_feature_matrix(
+            two_launch_profile(), include=(True, False, True, False)
+        )
+        assert feats.shape == (2, 2)
+
+    def test_mask_must_keep_something(self):
+        with pytest.raises(ValueError):
+            inter_feature_matrix(
+                two_launch_profile(), include=(False, False, False, False)
+            )
+
+    def test_mask_must_have_four_entries(self):
+        with pytest.raises(ValueError):
+            inter_feature_matrix(two_launch_profile(), include=(True, True))

@@ -1,0 +1,207 @@
+"""Tests for the homogeneous-region sampling state machine."""
+
+import numpy as np
+import pytest
+
+from repro.config import SamplingConfig
+from repro.core.intralaunch import RegionSampler
+
+
+def make_sampler(
+    region_of,
+    insts_per_block=100,
+    occupancy=2,
+    config=None,
+):
+    region_of = np.asarray(region_of, dtype=np.int64)
+    insts = np.full(len(region_of), insts_per_block, dtype=np.int64)
+    return RegionSampler(
+        region_of=region_of,
+        block_warp_insts=insts,
+        config=config or SamplingConfig(min_warm_units=2, min_region_epochs=2),
+        occupancy=occupancy,
+    )
+
+
+def drive_block(sampler, tb_id, now, issued, simulate_expected=True):
+    """Dispatch one block and assert the decision."""
+    decision = sampler.on_dispatch(tb_id, now, issued)
+    assert decision == simulate_expected, f"tb {tb_id}"
+    return decision
+
+
+class TestRegionEntry:
+    def test_enters_when_all_residents_share_region(self):
+        s = make_sampler([0] * 10, occupancy=2)
+        s.on_dispatch(0, 0, 0)
+        s.on_dispatch(1, 0, 0)
+        assert s.episodes, "entered a region"
+        assert s.episodes[0].region_id == 0
+
+    def test_no_entry_with_unmarked_resident(self):
+        s = make_sampler([-1, 0, 0, 0, 0, 0], occupancy=2)
+        s.on_dispatch(0, 0, 0)  # region -1 resident
+        s.on_dispatch(1, 0, 0)
+        assert not s.episodes
+        # After the -1 block retires, only region-0 residents remain.
+        s.on_retire(0, 10, 50)
+        assert s.episodes
+
+    def test_mixed_regions_never_fast_forward(self):
+        # The very first dispatch is trivially homogeneous (one
+        # resident), but a mixed composition exits the region before any
+        # warm unit completes, so stable units cannot trigger FF.
+        s = make_sampler([0, 1, 0, 1], occupancy=2)
+        s.on_dispatch(0, 0, 0)
+        s.on_dispatch(1, 0, 0)
+        for i in range(4):
+            s.on_unit_start(i * 100)
+            s.on_unit_complete(1000, 100, (i + 1) * 100, (i + 1) * 1000)
+        assert s.fast_forwarded_regions == 0
+        assert s.skipped_warp_insts == 0
+
+
+class TestWarmingAndFastForward:
+    def _warmed_sampler(self, n_blocks=40, occupancy=2):
+        """Drive a sampler through entry and two stable units."""
+        s = make_sampler([0] * n_blocks, occupancy=occupancy)
+        s.on_dispatch(0, 0, 0)
+        s.on_dispatch(1, 0, 0)
+        # Two sampling units with identical IPC -> stable.
+        s.on_unit_start(0)
+        s.on_unit_complete(1000, 100, 100, 1000)
+        s.on_unit_start(100)
+        s.on_unit_complete(1000, 100, 200, 2000)
+        return s
+
+    def test_ff_begins_after_stable_units(self):
+        s = self._warmed_sampler()
+        assert s.episodes[0].fast_forwarded
+        assert s.episodes[0].predicted_ipc == pytest.approx(10.0)
+
+    def test_ff_skips_blocks_and_accounts(self):
+        s = self._warmed_sampler()
+        assert not s.on_dispatch(2, 200, 2000)  # skipped
+        assert s.skipped_warp_insts == 100
+        assert s.extra_cycles == pytest.approx(100 / 10.0)
+
+    def test_unstable_units_keep_warming(self):
+        s = make_sampler([0] * 40)
+        s.on_dispatch(0, 0, 0)
+        s.on_dispatch(1, 0, 0)
+        s.on_unit_start(0)
+        s.on_unit_complete(1000, 100, 100, 1000)  # ipc 10
+        s.on_unit_start(100)
+        s.on_unit_complete(1000, 50, 150, 2000)  # ipc 20: +100%
+        assert not s.episodes[0].fast_forwarded
+        # Third unit close to the second -> now stable.
+        s.on_unit_start(150)
+        s.on_unit_complete(1000, 52, 202, 3000)
+        assert s.episodes[0].fast_forwarded
+
+    def test_unit_straddling_entry_ignored(self):
+        s = make_sampler([0] * 40)
+        s.on_unit_start(0)  # unit starts before any region
+        s.on_dispatch(0, 0, 0)
+        s.on_dispatch(1, 0, 0)
+        s.on_unit_complete(1000, 100, 100, 1000)  # invalid: started outside
+        s.on_unit_start(100)
+        s.on_unit_complete(1000, 100, 200, 2000)
+        # Only one valid unit so far: cannot fast-forward yet.
+        assert not s.episodes[0].fast_forwarded
+
+    def test_min_warm_units_respected(self):
+        cfg = SamplingConfig(min_warm_units=4, min_region_epochs=2)
+        s = make_sampler([0] * 60, config=cfg)
+        s.on_dispatch(0, 0, 0)
+        s.on_dispatch(1, 0, 0)
+        for i in range(3):
+            s.on_unit_start(i * 100)
+            s.on_unit_complete(1000, 100, (i + 1) * 100, (i + 1) * 1000)
+        assert not s.episodes[0].fast_forwarded  # only 3 units
+        s.on_unit_start(300)
+        s.on_unit_complete(1000, 100, 400, 4000)
+        assert s.episodes[0].fast_forwarded
+
+
+class TestWaveQuantizedSkipping:
+    def test_skip_budget_is_multiple_of_occupancy(self):
+        s = make_sampler([0] * 20, occupancy=3)
+        s.on_dispatch(0, 0, 0)
+        s.on_dispatch(1, 0, 0)
+        s.on_dispatch(2, 0, 0)
+        s.on_unit_start(0)
+        s.on_unit_complete(900, 100, 100, 900)
+        s.on_unit_start(100)
+        s.on_unit_complete(900, 100, 200, 1800)
+        assert s.episodes[0].fast_forwarded
+        # Blocks 3..16 are skippable (17..19 are the reserved tail).
+        # Contiguous run from 3: 14 blocks -> budget 12 (4 waves of 3).
+        skipped = 0
+        for tb in range(3, 20):
+            if not s.on_dispatch(tb, 300 + tb, 2000 + tb):
+                skipped += 1
+        assert skipped == 12
+        assert s.skipped_warp_insts == 12 * 100
+
+    def test_region_tail_never_skipped(self):
+        s = make_sampler([0] * 10, occupancy=4)
+        # Blocks 6..9 (the last occupancy-many) are not skippable.
+        assert not any(s._skippable[6:])
+        assert s._skippable[0]
+
+    def test_foreign_block_exits_ff(self):
+        s = make_sampler([0] * 10 + [1] * 10, occupancy=2)
+        s.on_dispatch(0, 0, 0)
+        s.on_dispatch(1, 0, 0)
+        s.on_unit_start(0)
+        s.on_unit_complete(800, 100, 100, 800)
+        s.on_unit_start(100)
+        s.on_unit_complete(800, 100, 200, 1600)
+        assert s.episodes[0].fast_forwarded
+        assert not s.on_dispatch(2, 210, 1700)  # region-0 block: skipped
+        assert s.on_dispatch(10, 220, 1800)  # region-1 block: simulated
+        assert s.fast_forwarded_regions == 1
+
+
+class TestDrainReplacement:
+    def test_mid_launch_exit_replaces_drain_window(self):
+        s = make_sampler([0] * 10 + [1] * 10, occupancy=2)
+        s.on_dispatch(0, 0, 0)
+        s.on_dispatch(1, 0, 0)
+        s.on_unit_start(0)
+        s.on_unit_complete(1000, 100, 100, 1000)
+        s.on_unit_start(100)
+        s.on_unit_complete(1000, 100, 200, 2000)  # FF at now=200, issued=2000
+        s.on_dispatch(2, 200, 2000)  # skip
+        before = s.extra_cycles
+        # Foreign dispatch at now=500, issued=2600: drain window was 300
+        # cycles for 600 insts; replaced by 600/10 = 60 cycles.
+        s.on_dispatch(10, 500, 2600)
+        replacement = (600 / 10.0) - 300
+        assert s.extra_cycles - before == pytest.approx(replacement)
+        assert s.episodes[0].drain_insts == 600
+        assert s.episodes[0].drain_cycles == 300
+
+    def test_finalize_closes_open_ff(self):
+        s = make_sampler([0] * 40, occupancy=2)
+        s.on_dispatch(0, 0, 0)
+        s.on_dispatch(1, 0, 0)
+        s.on_unit_start(0)
+        s.on_unit_complete(1000, 100, 100, 1000)
+        s.on_unit_start(100)
+        s.on_unit_complete(1000, 100, 200, 2000)
+        s.on_dispatch(2, 200, 2000)
+        s.finalize(600, 3000)
+        assert s.episodes == s.episodes  # no crash; episode closed
+        assert s.extra_cycles == pytest.approx(100 / 10.0 + (1000 / 10.0 - 400))
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RegionSampler(np.zeros(3), np.zeros(4))
+
+    def test_bad_occupancy(self):
+        with pytest.raises(ValueError):
+            RegionSampler(np.zeros(3), np.zeros(3), occupancy=0)

@@ -1,0 +1,103 @@
+"""Property-based tests for estimate composition invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimates import compose_kernel_estimate
+from repro.core.interlaunch import InterLaunchPlan
+from repro.profiler.functional import KernelProfile, LaunchProfile
+from repro.sim.gpu import LaunchResult
+
+
+@st.composite
+def composition_case(draw):
+    n_launches = draw(st.integers(1, 8))
+    n_clusters = draw(st.integers(1, n_launches))
+    labels = [draw(st.integers(0, n_clusters - 1)) for _ in range(n_launches)]
+    # Ensure every cluster is populated, then renumber by appearance.
+    for c in range(n_clusters):
+        if c not in labels:
+            labels[draw(st.integers(0, n_launches - 1))] = c
+    remap: dict[int, int] = {}
+    labels = [remap.setdefault(c, len(remap)) for c in labels]
+    n_clusters = len(remap)
+    reps = []
+    for c in range(n_clusters):
+        members = [i for i, l in enumerate(labels) if l == c]
+        reps.append(members[draw(st.integers(0, len(members) - 1))])
+
+    launches = []
+    for i in range(n_launches):
+        blocks = draw(st.integers(1, 6))
+        per = draw(st.integers(50, 5_000))
+        launches.append(
+            LaunchProfile(
+                kernel_name="k",
+                launch_id=i,
+                warps_per_block=2,
+                warp_insts=np.full(blocks, per, dtype=np.int64),
+                thread_insts=np.full(blocks, per * 32, dtype=np.int64),
+                mem_requests=np.full(blocks, max(1, per // 7), dtype=np.int64),
+            )
+        )
+    profile = KernelProfile("k", launches)
+
+    rep_results = {}
+    for r in set(reps):
+        total = launches[r].total_warp_insts
+        skipped = draw(st.integers(0, total - 1))
+        issued = total - skipped
+        wall = draw(st.integers(max(1, issued // 14), issued + 1000))
+        extra = float(skipped) / draw(st.floats(0.5, 14.0)) if skipped else 0.0
+        rep_results[r] = LaunchResult(
+            launch_id=r,
+            issued_warp_insts=issued,
+            wall_cycles=wall,
+            per_sm_issued=[issued],
+            per_sm_busy_cycles=[wall],
+            skipped_warp_insts=skipped,
+            extra_cycles=extra,
+        )
+    plan = InterLaunchPlan(
+        labels=np.asarray(labels, dtype=np.int64),
+        representatives=np.asarray(reps, dtype=np.int64),
+        features=np.zeros((n_launches, 4)),
+    )
+    return profile, plan, rep_results
+
+
+@settings(max_examples=60, deadline=None)
+@given(composition_case())
+def test_composition_invariants(case):
+    profile, plan, rep_results = case
+    est = compose_kernel_estimate(profile, plan, rep_results)
+
+    # Instruction conservation: the estimate covers the whole kernel.
+    assert est.total_warp_insts == sum(
+        p.total_warp_insts for p in profile.launches
+    )
+    # Sample size counts only the representatives' simulated portions.
+    assert est.simulated_insts == sum(
+        r.issued_warp_insts for r in rep_results.values()
+    )
+    assert 0 < est.sample_size <= 1
+    # Cycles are positive and the IPC is finite and positive.
+    assert est.est_total_cycles > 0
+    assert 0 < est.overall_ipc < np.inf
+    # Unsimulated launches inherit exactly their representative's IPC.
+    for launch in est.launches:
+        if not launch.simulated:
+            rep = rep_results[plan.representative_of(launch.launch_id)]
+            assert launch.est_ipc == pytest.approx(rep.est_ipc, rel=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(composition_case())
+def test_ipc_is_weighted_harmonic_combination(case):
+    """Overall IPC lies between the min and max per-launch IPCs."""
+    profile, plan, rep_results = case
+    est = compose_kernel_estimate(profile, plan, rep_results)
+    per_launch = [l.est_ipc for l in est.launches]
+    assert min(per_launch) - 1e-9 <= est.overall_ipc <= max(per_launch) + 1e-9

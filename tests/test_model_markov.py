@@ -1,0 +1,112 @@
+"""Tests for the Eq. 3 Markov-chain IPC model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.markov import (
+    analytic_ipc,
+    ipc_from_steady_state,
+    steady_state,
+    transition_matrix,
+    warp_runnable_probability,
+)
+
+
+class TestTransitionMatrix:
+    def test_rows_sum_to_one(self):
+        T = transition_matrix(0.1, 100.0, 4)
+        np.testing.assert_allclose(T.sum(axis=1), 1.0)
+
+    def test_shape(self):
+        assert transition_matrix(0.1, 50.0, 3).shape == (8, 8)
+
+    def test_single_warp_entries(self):
+        p, M = 0.2, 10.0
+        T = transition_matrix(p, M, 1)
+        # state 0 = stalled, state 1 = runnable
+        assert T[1, 0] == pytest.approx(p)  # runnable -> stalled
+        assert T[1, 1] == pytest.approx(1 - p)
+        assert T[0, 1] == pytest.approx(1 / M)  # stalled -> wakes
+        assert T[0, 0] == pytest.approx(1 - 1 / M)
+
+    def test_per_warp_latencies(self):
+        T = transition_matrix(0.1, [10.0, 1000.0], 2)
+        np.testing.assert_allclose(T.sum(axis=1), 1.0)
+        # Warp with huge M wakes far more slowly.
+        assert T[0, 1] > T[0, 2]  # bit0 wake (M=10) vs bit1 wake (M=1000)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            transition_matrix(1.5, 100.0, 2)
+
+    def test_rejects_sub_cycle_latency(self):
+        with pytest.raises(ValueError):
+            transition_matrix(0.1, 0.5, 2)
+
+    def test_rejects_huge_n(self):
+        with pytest.raises(ValueError):
+            transition_matrix(0.1, 100.0, 20)
+
+
+class TestSteadyState:
+    def test_distribution_sums_to_one(self):
+        T = transition_matrix(0.1, 100.0, 4)
+        v = steady_state(T)
+        assert v.sum() == pytest.approx(1.0)
+        assert (v >= 0).all()
+
+    def test_is_fixed_point(self):
+        T = transition_matrix(0.15, 80.0, 3)
+        v = steady_state(T)
+        np.testing.assert_allclose(v @ T, v, atol=1e-10)
+
+
+class TestAnalyticAgreesWithExact:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        p=st.floats(0.01, 0.5),
+        m=st.floats(2.0, 500.0),
+        n=st.integers(1, 6),
+    )
+    def test_exact_vs_factorized(self, p, m, n):
+        """Eq. 3's warps are independent chains, so the explicit matrix
+        and the closed form must agree."""
+        T = transition_matrix(p, m, n)
+        exact = ipc_from_steady_state(steady_state(T))
+        closed = analytic_ipc(p, m, n)
+        assert exact == pytest.approx(closed, rel=1e-6)
+
+    def test_per_warp_latency_vector(self):
+        ms = np.array([50.0, 100.0, 200.0, 400.0])
+        T = transition_matrix(0.1, ms, 4)
+        exact = ipc_from_steady_state(steady_state(T))
+        closed = analytic_ipc(0.1, ms)
+        assert exact == pytest.approx(closed, rel=1e-6)
+
+
+class TestAnalyticIPC:
+    def test_more_warps_higher_ipc(self):
+        ipcs = [analytic_ipc(0.1, 200.0, n) for n in (1, 2, 4, 8)]
+        assert all(a < b for a, b in zip(ipcs, ipcs[1:]))
+
+    def test_higher_stall_prob_lower_ipc(self):
+        assert analytic_ipc(0.05, 200.0, 4) > analytic_ipc(0.2, 200.0, 4)
+
+    def test_zero_stall_prob_full_ipc(self):
+        assert analytic_ipc(0.0, 100.0, 2) == pytest.approx(1.0)
+
+    def test_batch_of_samples(self):
+        ms = np.full((100, 4), 100.0)
+        out = analytic_ipc(0.1, ms)
+        assert out.shape == (100,)
+        assert np.allclose(out, out[0])
+
+    def test_scalar_requires_num_warps(self):
+        with pytest.raises(ValueError):
+            analytic_ipc(0.1, 100.0)
+
+    def test_runnable_probability(self):
+        # p*M = 1 -> pi_run = 1/2
+        assert warp_runnable_probability(0.01, 100.0) == pytest.approx(0.5)

@@ -1,0 +1,64 @@
+"""Tests for per-launch BBV profiling (the footnote-2 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.profiler import launch_bbv, launch_bbvs
+from repro.workloads.base import LaunchSpec, Segment, build_kernel
+
+
+def variant_kernel():
+    a = LaunchSpec(
+        segments=(Segment(count=24, insts_per_warp=32),),
+        warps_per_block=2,
+        bb_offset=0,
+        data_key=0,
+    )
+    b = LaunchSpec(
+        segments=(Segment(count=24, insts_per_warp=32),),
+        warps_per_block=2,
+        bb_offset=9,  # different code path
+        data_key=1,
+    )
+    return build_kernel("v", "test", "regular", [a, b, a], 3)
+
+
+class TestLaunchBBV:
+    def test_normalized(self):
+        kernel = variant_kernel()
+        bbv = launch_bbv(kernel.launches[0])
+        assert bbv.sum() == pytest.approx(1.0)
+        assert (bbv >= 0).all()
+
+    def test_same_code_same_bbv(self):
+        kernel = variant_kernel()
+        a = launch_bbv(kernel.launches[0])
+        c = launch_bbv(kernel.launches[2])
+        np.testing.assert_allclose(a, c)
+
+    def test_different_code_different_bbv(self):
+        kernel = variant_kernel()
+        a = launch_bbv(kernel.launches[0])
+        b = launch_bbv(kernel.launches[1])
+        # Disjoint bb_offset ranges: the vectors cannot overlap.
+        assert float(a @ b) == pytest.approx(0.0)
+
+    def test_matrix_shape_and_weight(self):
+        kernel = variant_kernel()
+        mat = launch_bbvs(kernel, weight=2.0)
+        assert mat.shape[0] == 3
+        np.testing.assert_allclose(mat.sum(axis=1), 2.0)
+
+    def test_bbv_separates_variants_in_interlaunch_plan(self):
+        """The footnote-2 use case end to end: BBV columns force
+        different-code launches into different clusters even when their
+        Eq. 2 features agree."""
+        from repro.core.interlaunch import plan_inter_launch
+        from repro.profiler import profile_kernel
+
+        kernel = variant_kernel()
+        profile = profile_kernel(kernel)
+        extra = launch_bbvs(kernel, weight=1.0)
+        plan = plan_inter_launch(profile, extra_features=extra)
+        assert plan.cluster_of(0) == plan.cluster_of(2)
+        assert plan.cluster_of(0) != plan.cluster_of(1)

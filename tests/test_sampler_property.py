@@ -1,0 +1,130 @@
+"""Property-based fuzzing of the RegionSampler state machine.
+
+Drives the sampler with randomized but structurally valid event
+sequences (dispatch in ID order, retire any resident block, units
+bracketing block lifetimes) and checks the accounting invariants the
+estimate composition relies on: every block is either simulated or
+skipped exactly once, skipped instructions match the profile of skipped
+blocks, and the cycle credit is finite and consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SamplingConfig
+from repro.core.intralaunch import RegionSampler
+
+
+@st.composite
+def sampler_scenario(draw):
+    n_blocks = draw(st.integers(6, 60))
+    occupancy = draw(st.integers(1, 6))
+    # Random piecewise region labels (including unmarked stretches).
+    n_segments = draw(st.integers(1, 4))
+    labels = []
+    for seg_id in range(n_segments):
+        length = draw(st.integers(1, 30))
+        region = draw(st.sampled_from([-1, seg_id]))
+        labels.extend([region] * length)
+    labels = (labels * 3)[:n_blocks]
+    while len(labels) < n_blocks:
+        labels.append(-1)
+    insts = draw(
+        st.lists(
+            st.integers(10, 500), min_size=n_blocks, max_size=n_blocks
+        )
+    )
+    seed = draw(st.integers(0, 2**31 - 1))
+    return np.asarray(labels), np.asarray(insts), occupancy, seed
+
+
+@settings(max_examples=60, deadline=None)
+@given(sampler_scenario())
+def test_accounting_invariants(scenario):
+    labels, insts, occupancy, seed = scenario
+    rng = np.random.default_rng(seed)
+    sampler = RegionSampler(
+        region_of=labels,
+        block_warp_insts=insts,
+        config=SamplingConfig(min_warm_units=2),
+        occupancy=occupancy,
+    )
+
+    now = 0
+    issued = 0
+    resident: list[int] = []
+    simulated: list[int] = []
+    skipped: list[int] = []
+    specified: int | None = None
+    unit_start = (0, 0)
+    next_tb = 0
+    n_blocks = len(labels)
+
+    while next_tb < n_blocks or resident:
+        # Fill up to occupancy.
+        while len(resident) < occupancy and next_tb < n_blocks:
+            tb = next_tb
+            next_tb += 1
+            if sampler.on_dispatch(tb, now, issued):
+                resident.append(tb)
+                simulated.append(tb)
+                if specified is None:
+                    specified = tb
+                    unit_start = (now, issued)
+                    sampler.on_unit_start(now)
+            else:
+                skipped.append(tb)
+        if not resident:
+            break
+        # Execute for a random while, then retire a random resident.
+        dt = int(rng.integers(1, 50))
+        now += dt
+        issued += int(rng.integers(1, 200))
+        victim = resident.pop(int(rng.integers(len(resident))))
+        if victim == specified:
+            t0, i0 = unit_start
+            sampler.on_unit_complete(
+                issued - i0, max(1, now - t0), now, issued
+            )
+            specified = None
+        sampler.on_retire(victim, now, issued)
+    sampler.finalize(now, issued)
+
+    # Every block was handled exactly once.
+    assert sorted(simulated + skipped) == list(range(n_blocks))
+    # Skipped instruction accounting matches the profile.
+    assert sampler.skipped_warp_insts == sum(int(insts[tb]) for tb in skipped)
+    # Skipped blocks always carry a region and respect the tail reserve.
+    for tb in skipped:
+        assert labels[tb] >= 0
+        assert tb + occupancy < n_blocks
+        assert labels[tb + occupancy] == labels[tb]
+    # Episode bookkeeping agrees with the totals.
+    assert sum(e.skipped_blocks for e in sampler.episodes) == len(skipped)
+    assert sum(e.skipped_insts for e in sampler.episodes) == (
+        sampler.skipped_warp_insts
+    )
+    # The cycle credit is finite, and zero when nothing was skipped.
+    assert np.isfinite(sampler.extra_cycles)
+    if not skipped:
+        assert sampler.extra_cycles == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(4, 40),
+    occ=st.integers(1, 5),
+)
+def test_skippable_mask_structure(n, occ):
+    """The tail reserve holds for any region layout."""
+    labels = np.zeros(n, dtype=np.int64)
+    sampler = RegionSampler(labels, np.full(n, 10), occupancy=occ)
+    skippable = sampler._skippable
+    # The last `occ` blocks are never skippable.
+    assert not any(skippable[max(0, n - occ):])
+    # Earlier blocks of the single region are skippable.
+    if n > occ:
+        assert all(skippable[: n - occ])

@@ -1,0 +1,83 @@
+"""Tests for the warp-scheduler policy knob and the scaling driver."""
+
+import pytest
+
+from repro.analysis.launch_accuracy import launch_accuracy
+from repro.analysis.scaling import run_scaling
+from repro.baselines import run_full
+from repro.config import GPUConfig
+from repro.core.pipeline import run_tbpoint
+from repro.profiler import profile_kernel
+from repro.sim import GPUSimulator
+
+from tests.conftest import make_uniform_kernel
+
+
+class TestSchedulerPolicy:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            GPUConfig(scheduler="fifo")
+
+    def test_policies_issue_same_instructions(self):
+        kernel = make_uniform_kernel(num_launches=1, blocks_per_launch=64)
+        launch = kernel.launches[0]
+        oldest = GPUSimulator(
+            GPUConfig(num_sms=2, warps_per_sm=8, scheduler="oldest")
+        ).run_launch(launch)
+        lrr = GPUSimulator(
+            GPUConfig(num_sms=2, warps_per_sm=8, scheduler="lrr")
+        ).run_launch(launch)
+        assert oldest.issued_warp_insts == lrr.issued_warp_insts
+        # Different interleavings, same ballpark throughput.
+        assert lrr.wall_cycles == pytest.approx(oldest.wall_cycles, rel=0.2)
+
+    def test_lrr_deterministic(self):
+        kernel = make_uniform_kernel(num_launches=1, blocks_per_launch=32)
+        launch = kernel.launches[0]
+        gpu = GPUConfig(num_sms=2, warps_per_sm=8, scheduler="lrr")
+        a = GPUSimulator(gpu).run_launch(launch)
+        b = GPUSimulator(gpu).run_launch(launch)
+        assert a.wall_cycles == b.wall_cycles
+
+    def test_tbpoint_works_under_lrr(self):
+        kernel = make_uniform_kernel(num_launches=2, blocks_per_launch=96)
+        gpu = GPUConfig(num_sms=4, warps_per_sm=16, scheduler="lrr")
+        full = run_full(kernel, gpu)
+        tbp = run_tbpoint(kernel, gpu)
+        err = abs(tbp.overall_ipc - full.overall_ipc) / full.overall_ipc
+        assert err < 0.1
+
+
+class TestScalingDriver:
+    def test_points_cover_scales(self):
+        points = run_scaling("stream", scales=(0.02, 0.04), seed=7)
+        assert [p.scale for p in points] == [0.02, 0.04]
+        for p in points:
+            assert p.error >= 0
+            assert 0 < p.sample_size <= 1
+            assert p.num_blocks > 0
+
+
+class TestLaunchAccuracy:
+    def test_simulated_launch_error_small(self):
+        kernel = make_uniform_kernel(num_launches=3, blocks_per_launch=96)
+        gpu = GPUConfig(num_sms=4, warps_per_sm=16)
+        full = run_full(kernel, gpu)
+        tbp = run_tbpoint(kernel, gpu)
+        acc = launch_accuracy(tbp.estimate, full)
+        assert len(acc.errors) == 3
+        assert acc.mean_error < 0.15
+        assert acc.mean_unsimulated_error >= 0
+
+    def test_mismatched_lengths_rejected(self):
+        kernel = make_uniform_kernel(num_launches=2, blocks_per_launch=64)
+        gpu = GPUConfig(num_sms=2, warps_per_sm=8)
+        full = run_full(kernel, gpu)
+        tbp = run_tbpoint(kernel, gpu)
+        import dataclasses
+
+        truncated = dataclasses.replace(
+            tbp.estimate, launches=tbp.estimate.launches[:1]
+        )
+        with pytest.raises(ValueError):
+            launch_accuracy(truncated, full)

@@ -1,0 +1,94 @@
+"""Tests for the LRU cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.caches import LRUCache
+
+
+class TestLRUCache:
+    def test_first_access_misses_second_hits(self):
+        c = LRUCache(1024, 128)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(64)  # same 128-byte line
+        assert c.hits == 2 and c.misses == 1
+
+    def test_distinct_lines(self):
+        c = LRUCache(1024, 128)
+        c.access(0)
+        assert not c.access(128)
+
+    def test_capacity_eviction_lru_order(self):
+        c = LRUCache(4 * 128, 128)  # 4 lines
+        for i in range(4):
+            c.access(i * 128)
+        c.access(0)  # touch line 0 -> MRU
+        c.access(4 * 128)  # evicts line 1 (LRU)
+        assert c.access(0)  # still resident
+        assert not c.access(1 * 128)  # evicted
+
+    def test_occupancy_bounded(self):
+        c = LRUCache(8 * 128, 128)
+        for i in range(100):
+            c.access(i * 128)
+        assert c.occupancy == 8
+
+    def test_contains_does_not_mutate(self):
+        c = LRUCache(1024, 128)
+        assert not c.contains(0)
+        assert c.misses == 0
+        c.access(0)
+        assert c.contains(0)
+        assert c.hits == 0 and c.misses == 1
+
+    def test_reset(self):
+        c = LRUCache(1024, 128)
+        c.access(0)
+        c.reset()
+        assert c.occupancy == 0
+        assert c.hits == 0 and c.misses == 0
+        assert not c.access(0)
+
+    def test_reset_keep_stats(self):
+        c = LRUCache(1024, 128)
+        c.access(0)
+        c.access(0)
+        c.reset(keep_stats=True)
+        assert c.hits == 1 and c.misses == 1
+        assert not c.access(0)  # line gone
+
+    def test_hit_rate(self):
+        c = LRUCache(1024, 128)
+        assert c.hit_rate == 0.0
+        c.access(0)
+        c.access(0)
+        assert c.hit_rate == pytest.approx(0.5)
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            LRUCache(1024, 100)
+        with pytest.raises(ValueError):
+            LRUCache(64, 128)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        addrs=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300),
+        lines=st.integers(1, 16),
+    )
+    def test_occupancy_never_exceeds_capacity(self, addrs, lines):
+        c = LRUCache(lines * 128, 128)
+        for a in addrs:
+            c.access(a)
+        assert c.occupancy <= lines
+        assert c.hits + c.misses == len(addrs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(addrs=st.lists(st.integers(0, 1 << 14), min_size=1, max_size=100))
+    def test_infinite_capacity_only_compulsory_misses(self, addrs):
+        c = LRUCache(1 << 22, 128)  # larger than the address space used
+        for a in addrs:
+            c.access(a)
+        distinct_lines = len({a >> 7 for a in addrs})
+        assert c.misses == distinct_lines

@@ -1,0 +1,97 @@
+"""Tests for the DRAM model."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.sim.dram import DRAMModel
+
+
+def small_dram(**over):
+    cfg = GPUConfig(
+        dram_channels=2, dram_banks=2, dram_latency=100,
+        dram_row_miss_penalty=50, dram_service=10, dram_jitter=0,
+    ).with_(**over)
+    return DRAMModel(cfg)
+
+
+class TestDRAM:
+    def test_first_access_is_row_miss(self):
+        d = small_dram()
+        done = d.access(0, now=0)
+        assert done == 150  # base + row-miss penalty
+        assert d.row_hits == 0
+
+    def test_same_row_hit(self):
+        d = small_dram()
+        d.access(0, now=0)
+        # Same bank (line + num_banks) and same 2 KiB row: a row hit.
+        done = d.access(d.num_banks * 128, now=1000)
+        assert done == 1000 + 100
+        assert d.row_hits == 1
+
+    def test_adjacent_lines_interleave_across_banks(self):
+        d = small_dram()
+        d.access(0, now=0)
+        d.access(128, now=0)  # next line -> next bank -> closed row
+        assert d.row_hits == 0
+
+    def test_row_conflict_pays_penalty(self):
+        d = small_dram()
+        d.access(0, now=0)
+        nb = d.num_banks
+        done = d.access(2048 * nb, now=1000)  # same bank, different row
+        assert done == 1000 + 150
+
+    def test_bank_queueing_delay(self):
+        d = small_dram()
+        d.access(0, now=0)  # occupies bank until t=10
+        done = d.access(0, now=2)  # same bank: waits until 10
+        assert done == 10 + 100
+        assert d.total_queue_cycles == 8
+
+    def test_different_banks_no_queueing(self):
+        d = small_dram()
+        d.access(0, now=0)
+        done = d.access(128, now=0)  # adjacent line -> next bank
+        assert done == 150
+        assert d.total_queue_cycles == 0
+
+    def test_bank_mapping_spreads_lines(self):
+        d = small_dram()
+        banks = {(a >> d.line_shift) % d.num_banks for a in range(0, 512, 128)}
+        assert len(banks) == 4
+
+    def test_stats(self):
+        d = small_dram()
+        d.access(0, 0)
+        d.access(128, 0)
+        assert d.requests == 2
+        assert 0 <= d.row_hit_rate <= 1
+        assert d.mean_queue_delay >= 0
+
+    def test_reset(self):
+        d = small_dram()
+        d.access(0, 0)
+        d.reset()
+        assert d.requests == 0
+        assert d.free_at == [0] * d.num_banks
+        # row closed: pays the miss penalty again
+        assert d.access(0, 0) == 150
+
+    def test_jitter_bounded_and_deterministic(self):
+        d = small_dram(dram_jitter=9)
+        lats = [d.access(0, now=10_000 * (i + 1)) - 10_000 * (i + 1) for i in range(50)]
+        base = [l - 150 if i == 0 else l - 100 for i, l in enumerate(lats)]
+        # Jitter stays within [0, 9) on top of the deterministic latency.
+        d2 = small_dram(dram_jitter=9)
+        lats2 = [d2.access(0, now=10_000 * (i + 1)) - 10_000 * (i + 1) for i in range(50)]
+        assert lats == lats2  # deterministic
+        assert max(lats) - min(lats[1:]) < 60  # bounded variation
+
+    def test_bank_serializes_under_load(self):
+        d = small_dram()
+        for i in range(50):
+            d.access(0, now=0)  # hammer one bank
+        # Each request occupies the bank for `service` cycles.
+        assert d.free_at[(0 >> d.line_shift) % d.num_banks] == 50 * 10
+        assert d.total_queue_cycles == sum(10 * i for i in range(50))

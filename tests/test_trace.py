@@ -1,0 +1,205 @@
+"""Tests for the trace representation layer."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    OP_ALU,
+    OP_BRANCH,
+    OP_MEM_GLOBAL,
+    OP_MEM_SHARED,
+    STALL_CYCLES,
+    WARP_WIDTH,
+    BlockTrace,
+    KernelTrace,
+    LaunchTrace,
+    WarpTrace,
+    is_dram_op,
+    is_mem_op,
+)
+from repro.trace.warptrace import concat_warp_traces
+
+
+def make_warp(n=8, mem_every=4):
+    op = np.full(n, OP_ALU, dtype=np.uint8)
+    mem_req = np.zeros(n, dtype=np.uint8)
+    op[::mem_every] = OP_MEM_GLOBAL
+    mem_req[::mem_every] = 2
+    return WarpTrace(
+        op,
+        np.full(n, 16, dtype=np.uint8),
+        mem_req,
+        np.arange(n, dtype=np.int64) * 128,
+        np.full(n, 128, dtype=np.int64),
+        np.zeros(n, dtype=np.uint16),
+    )
+
+
+class TestInstructionPredicates:
+    def test_mem_predicates_scalar(self):
+        assert is_mem_op(OP_MEM_SHARED)
+        assert is_mem_op(OP_MEM_GLOBAL)
+        assert not is_mem_op(OP_ALU)
+        assert is_dram_op(OP_MEM_GLOBAL)
+        assert not is_dram_op(OP_MEM_SHARED)
+        assert not is_dram_op(OP_BRANCH)
+
+    def test_mem_predicates_array(self):
+        ops = np.array([OP_ALU, OP_MEM_GLOBAL, OP_MEM_SHARED], dtype=np.uint8)
+        np.testing.assert_array_equal(is_dram_op(ops), [False, True, False])
+
+    def test_stall_table_covers_all_ops(self):
+        assert len(STALL_CYCLES) == 8
+        # DRAM-bound ops carry no static stall (computed dynamically).
+        assert STALL_CYCLES[OP_MEM_GLOBAL] == 0
+
+
+class TestWarpTrace:
+    def test_counts(self):
+        w = make_warp(n=8, mem_every=4)
+        assert w.warp_insts == 8
+        assert w.thread_insts == 8 * 16
+        assert w.mem_requests == 2 * 2  # two mem insts, two transactions
+
+    def test_bb_counts(self):
+        w = make_warp()
+        counts = w.bb_counts(num_bbs=3)
+        assert counts[0] == len(w)
+        assert counts[1:].sum() == 0
+
+    def test_rejects_length_mismatch(self):
+        w = make_warp()
+        with pytest.raises(ValueError):
+            WarpTrace(w.op, w.active[:-1], w.mem_req, w.addr, w.spread, w.bb)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WarpTrace(
+                np.empty(0, np.uint8),
+                np.empty(0, np.uint8),
+                np.empty(0, np.uint8),
+                np.empty(0, np.int64),
+                np.empty(0, np.int64),
+                np.empty(0, np.uint16),
+            )
+
+    def test_rejects_zero_active(self):
+        w = make_warp()
+        active = w.active.copy()
+        active[0] = 0
+        with pytest.raises(ValueError):
+            WarpTrace(w.op, active, w.mem_req, w.addr, w.spread, w.bb)
+
+    def test_rejects_overwide_active(self):
+        w = make_warp()
+        active = w.active.copy()
+        active[0] = WARP_WIDTH + 1
+        with pytest.raises(ValueError):
+            WarpTrace(w.op, active, w.mem_req, w.addr, w.spread, w.bb)
+
+    def test_rejects_dram_op_without_transactions(self):
+        w = make_warp()
+        mem_req = w.mem_req.copy()
+        mem_req[0] = 0  # position 0 is a mem op
+        with pytest.raises(ValueError):
+            WarpTrace(w.op, w.active, mem_req, w.addr, w.spread, w.bb)
+
+    def test_rejects_alu_with_transactions(self):
+        w = make_warp()
+        mem_req = w.mem_req.copy()
+        mem_req[1] = 3  # position 1 is ALU
+        with pytest.raises(ValueError):
+            WarpTrace(w.op, w.active, mem_req, w.addr, w.spread, w.bb)
+
+    def test_concat(self):
+        a, b = make_warp(8), make_warp(12)
+        c = concat_warp_traces([a, b])
+        assert c.warp_insts == 20
+        assert c.mem_requests == a.mem_requests + b.mem_requests
+
+    def test_concat_empty_list(self):
+        with pytest.raises(ValueError):
+            concat_warp_traces([])
+
+
+class TestBlockTrace:
+    def test_stats_aggregate_warps(self):
+        block = BlockTrace(3, [make_warp(), make_warp()])
+        stats = block.stats
+        assert stats.tb_id == 3
+        assert stats.warp_insts == 16
+        assert stats.thread_insts == 2 * 8 * 16
+        assert stats.stall_probability == stats.mem_requests / stats.warp_insts
+
+    def test_stats_cached(self):
+        block = BlockTrace(0, [make_warp()])
+        assert block.stats is block.stats
+
+    def test_requires_warps(self):
+        with pytest.raises(ValueError):
+            BlockTrace(0, [])
+
+    def test_bb_counts(self):
+        block = BlockTrace(0, [make_warp(), make_warp()])
+        assert block.bb_counts(2)[0] == 16
+
+
+class TestLaunchTrace:
+    def _launch(self, n=10):
+        return LaunchTrace(
+            "k", 0, n, 1, lambda tb_id: BlockTrace(tb_id, [make_warp()]), 1
+        )
+
+    def test_block_range_checked(self):
+        launch = self._launch(5)
+        with pytest.raises(IndexError):
+            launch.block(5)
+        with pytest.raises(IndexError):
+            launch.block(-1)
+
+    def test_blocks_cached(self):
+        launch = self._launch()
+        assert launch.block(2) is launch.block(2)
+
+    def test_iteration_order(self):
+        launch = self._launch(4)
+        ids = [b.tb_id for b in launch.iter_blocks()]
+        assert ids == [0, 1, 2, 3]
+
+    def test_factory_id_mismatch_detected(self):
+        bad = LaunchTrace(
+            "k", 0, 3, 1, lambda tb_id: BlockTrace(0, [make_warp()]), 1
+        )
+        with pytest.raises(ValueError):
+            bad.block(1)
+
+    def test_rejects_empty_launch(self):
+        with pytest.raises(ValueError):
+            LaunchTrace("k", 0, 0, 1, lambda t: None, 1)
+
+
+class TestKernelTrace:
+    def test_counts(self):
+        launches = [
+            LaunchTrace(
+                "k", i, 5, 1, lambda tb_id: BlockTrace(tb_id, [make_warp()]), 1
+            )
+            for i in range(3)
+        ]
+        kernel = KernelTrace("k", "suite", "regular", launches)
+        assert kernel.num_launches == 3
+        assert kernel.num_blocks == 15
+
+    def test_rejects_bad_kind(self):
+        launch = LaunchTrace(
+            "k", 0, 1, 1, lambda tb_id: BlockTrace(tb_id, [make_warp()]), 1
+        )
+        with pytest.raises(ValueError):
+            KernelTrace("k", "s", "weird", [launch])
+
+    def test_rejects_noncontiguous_launch_ids(self):
+        launch = LaunchTrace(
+            "k", 1, 1, 1, lambda tb_id: BlockTrace(tb_id, [make_warp()]), 1
+        )
+        with pytest.raises(ValueError):
+            KernelTrace("k", "s", "regular", [launch])

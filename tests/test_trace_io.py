@@ -1,0 +1,66 @@
+"""Tests for trace save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.config import GPUConfig
+from repro.profiler import profile_launch
+from repro.sim import GPUSimulator
+from repro.trace.io import load_launch, save_launch
+
+from tests.conftest import make_manual_launch, make_uniform_kernel
+
+
+class TestRoundTrip:
+    def test_exact_columns(self, tmp_path):
+        kernel = make_uniform_kernel(num_launches=1, blocks_per_launch=24)
+        launch = kernel.launches[0]
+        path = tmp_path / "launch.npz"
+        save_launch(launch, path)
+        loaded = load_launch(path)
+
+        assert loaded.kernel_name == launch.kernel_name
+        assert loaded.num_blocks == launch.num_blocks
+        assert loaded.warps_per_block == launch.warps_per_block
+        assert loaded.num_bbs == launch.num_bbs
+        for tb in range(launch.num_blocks):
+            orig, back = launch.block(tb), loaded.block(tb)
+            assert len(orig.warps) == len(back.warps)
+            for wo, wb in zip(orig.warps, back.warps):
+                np.testing.assert_array_equal(wo.op, wb.op)
+                np.testing.assert_array_equal(wo.active, wb.active)
+                np.testing.assert_array_equal(wo.mem_req, wb.mem_req)
+                np.testing.assert_array_equal(wo.addr, wb.addr)
+                np.testing.assert_array_equal(wo.spread, wb.spread)
+                np.testing.assert_array_equal(wo.bb, wb.bb)
+
+    def test_profile_identical(self, tmp_path):
+        launch = make_manual_launch([10, 30, 20], warps_per_block=2)
+        path = tmp_path / "manual.npz"
+        save_launch(launch, path)
+        loaded = load_launch(path)
+        a, b = profile_launch(launch), profile_launch(loaded)
+        np.testing.assert_array_equal(a.warp_insts, b.warp_insts)
+        np.testing.assert_array_equal(a.mem_requests, b.mem_requests)
+
+    def test_simulation_identical(self, tmp_path):
+        kernel = make_uniform_kernel(num_launches=1, blocks_per_launch=32)
+        launch = kernel.launches[0]
+        path = tmp_path / "sim.npz"
+        save_launch(launch, path)
+        loaded = load_launch(path)
+        gpu = GPUConfig(num_sms=2, warps_per_sm=8)
+        a = GPUSimulator(gpu).run_launch(launch)
+        b = GPUSimulator(gpu).run_launch(loaded)
+        assert a.wall_cycles == b.wall_cycles
+        assert a.issued_warp_insts == b.issued_warp_insts
+
+    def test_version_check(self, tmp_path):
+        launch = make_manual_launch([8])
+        path = tmp_path / "v.npz"
+        save_launch(launch, path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["format_version"] = np.int64(99)
+        np.savez(path, **data)
+        with pytest.raises(ValueError):
+            load_launch(path)
