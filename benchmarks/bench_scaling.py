@@ -11,16 +11,24 @@ import os
 
 from repro.analysis.report import render_table
 from repro.analysis.scaling import run_scaling
+from repro.exec import ExecutionConfig
 
 from conftest import emit
 
 KERNEL = os.environ.get("REPRO_BENCH_SCALING_KERNEL", "conv")
 SCALES = (0.03125, 0.0625, 0.125, 0.25)
+#: Fan the per-scale runs across this many workers (results identical).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def test_sample_size_amortizes_with_scale(benchmark):
+    exec_config = ExecutionConfig(jobs=JOBS, use_cache=False)
     points = benchmark.pedantic(
-        run_scaling, args=(KERNEL, SCALES), rounds=1, iterations=1
+        run_scaling,
+        args=(KERNEL, SCALES),
+        kwargs={"exec_config": exec_config},
+        rounds=1,
+        iterations=1,
     )
     emit(render_table(
         ["scale", "blocks", "warp insts", "full IPC", "error", "sample"],

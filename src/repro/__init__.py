@@ -28,6 +28,7 @@ from repro.config import (
     SamplingConfig,
 )
 from repro.core import run_tbpoint, TBPointResult
+from repro.exec import ExecutionConfig, ProfileCache
 from repro.baselines import (
     estimate_random,
     estimate_simpoint,
@@ -48,6 +49,8 @@ __all__ = [
     "DEFAULT_SAMPLING",
     "run_tbpoint",
     "TBPointResult",
+    "ExecutionConfig",
+    "ProfileCache",
     "run_full",
     "estimate_random",
     "estimate_simpoint",

@@ -9,7 +9,14 @@ Every experiment in the evaluation can be regenerated from the shell:
 * ``breakdown`` — Fig. 11's inter/intra skipped-instruction shares;
 * ``sensitivity`` — Figs. 12-13 hardware-configuration sweep;
 * ``model`` — Fig. 5's Markov/Monte-Carlo study;
-* ``table1`` — projected simulation times at measured throughput.
+* ``table1`` — projected simulation times at measured throughput;
+* ``cache info`` / ``cache clear`` — persistent profile-cache status
+  and maintenance.
+
+Batch execution applies to every experiment command: ``--jobs N`` fans
+work out across N worker processes (0 = all CPUs, the default; results
+are bit-identical to ``--jobs 1``), and the one-time functional profiles
+are cached on disk across invocations unless ``--no-cache`` is given.
 """
 
 from __future__ import annotations
@@ -21,7 +28,9 @@ import numpy as np
 
 from repro.analysis.experiments import (
     SENSITIVITY_CONFIGS,
+    run_breakdown,
     run_fig5_model,
+    run_fig9_fig10,
     run_kernel_comparison,
     run_sensitivity,
     run_table1,
@@ -29,13 +38,23 @@ from repro.analysis.experiments import (
 from repro.analysis.report import render_table
 from repro.config import ExperimentConfig
 from repro.core.estimates import geometric_mean
-from repro.core.pipeline import run_tbpoint
-from repro.profiler import profile_kernel
-from repro.workloads import ALL_KERNELS, TABLE_VI, get_workload
+from repro.exec import ExecutionConfig, ProfileCache, default_cache_dir
+from repro.workloads import ALL_KERNELS, TABLE_VI
 
 
 def _experiment(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(scale=args.scale, seed=args.seed)
+
+
+def _exec_config(args: argparse.Namespace) -> ExecutionConfig:
+    """Execution knobs shared by every experiment command: ``--jobs 0``
+    (the default) uses every CPU; the profile cache is on unless
+    ``--no-cache``."""
+    return ExecutionConfig(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
 
 
 def _kernels(args: argparse.Namespace) -> tuple[str, ...]:
@@ -60,8 +79,15 @@ def cmd_list(args: argparse.Namespace) -> None:
     ))
 
 
-def _comparison_row(name: str, experiment: ExperimentConfig):
-    c = run_kernel_comparison(name, experiment)
+def _comparison_row(
+    name: str,
+    experiment: ExperimentConfig,
+    exec_config: ExecutionConfig | None = None,
+    comparison=None,
+):
+    c = comparison
+    if c is None:
+        c = run_kernel_comparison(name, experiment, exec_config=exec_config)
     return c, (
         name,
         c.kind,
@@ -82,15 +108,18 @@ _COMPARISON_HEADERS = [
 
 
 def cmd_run(args: argparse.Namespace) -> None:
-    _, row = _comparison_row(args.kernel, _experiment(args))
+    _, row = _comparison_row(args.kernel, _experiment(args), _exec_config(args))
     print(render_table(_COMPARISON_HEADERS, [row]))
 
 
 def cmd_headline(args: argparse.Namespace) -> None:
     experiment = _experiment(args)
+    summary = run_fig9_fig10(
+        _kernels(args), experiment, exec_config=_exec_config(args)
+    )
     comparisons, rows = [], []
-    for name in _kernels(args):
-        c, row = _comparison_row(name, experiment)
+    for c in summary.comparisons:
+        _, row = _comparison_row(c.kernel, experiment, comparison=c)
         comparisons.append(c)
         rows.append(row)
         print(render_table(_COMPARISON_HEADERS, [row]))
@@ -114,10 +143,10 @@ def cmd_headline(args: argparse.Namespace) -> None:
 
 def cmd_breakdown(args: argparse.Namespace) -> None:
     experiment = _experiment(args)
+    names = _kernels(args)
+    results = run_breakdown(names, experiment, exec_config=_exec_config(args))
     rows = []
-    for name in _kernels(args):
-        kernel = get_workload(name, experiment.scale, experiment.seed)
-        tbp = run_tbpoint(kernel, profile=profile_kernel(kernel))
+    for name, tbp in zip(names, results):
         inter, intra = tbp.skip_breakdown()
         rows.append((name, f"{inter:.0%}", f"{intra:.0%}",
                      f"{tbp.sample_size:.2%}"))
@@ -130,7 +159,9 @@ def cmd_breakdown(args: argparse.Namespace) -> None:
 
 def cmd_sensitivity(args: argparse.Namespace) -> None:
     experiment = _experiment(args)
-    points = run_sensitivity(_kernels(args), experiment=experiment)
+    points = run_sensitivity(
+        _kernels(args), experiment=experiment, exec_config=_exec_config(args)
+    )
     configs = [f"W{w}S{s}" for w, s in SENSITIVITY_CONFIGS]
     by_kernel: dict[str, dict] = {}
     for p in points:
@@ -161,6 +192,28 @@ def cmd_model(args: argparse.Namespace) -> None:
     ))
 
 
+def cmd_cache(args: argparse.Namespace) -> None:
+    cache = ProfileCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached profile(s) from {cache.root}")
+        return
+    info = cache.info()
+    print(render_table(
+        ["field", "value"],
+        [
+            ("directory", info["dir"]),
+            ("entries", str(info["entries"])),
+            ("size", f"{info['bytes']:,} bytes"),
+            ("cumulative hits", str(info["hits"])),
+            ("cumulative misses", str(info["misses"])),
+            ("profiler version", str(info["profiler_version"])),
+            ("entry format version", str(info["format_version"])),
+        ],
+        title="Profile cache",
+    ))
+
+
 def cmd_table1(args: argparse.Namespace) -> None:
     rows = run_table1()
     print(render_table(
@@ -174,6 +227,15 @@ def cmd_table1(args: argparse.Namespace) -> None:
     ))
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "must be >= 0 (0 = all CPUs, 1 = serial)"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -184,6 +246,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload scale factor, 1.0 = paper scale (default 0.125)",
     )
     parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument(
+        "--jobs", "-j", type=_nonnegative_int, default=0,
+        help="worker processes for batch execution; 0 (default) uses "
+             "every CPU, 1 is fully serial",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent functional-profile cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help=f"profile cache directory (default: $TBPOINT_CACHE_DIR or "
+             f"{default_cache_dir()})",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="Table VI benchmark inventory")
@@ -202,6 +278,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("model", help="Fig. 5 Markov/Monte-Carlo study")
     sub.add_parser("table1", help="Table I projected simulation times")
+
+    p = sub.add_parser("cache", help="persistent profile-cache maintenance")
+    p.add_argument("action", choices=["info", "clear"])
     return parser
 
 
@@ -213,6 +292,7 @@ _COMMANDS = {
     "sensitivity": cmd_sensitivity,
     "model": cmd_model,
     "table1": cmd_table1,
+    "cache": cmd_cache,
 }
 
 

@@ -21,6 +21,8 @@ from repro.baselines import (
 from repro.config import ExperimentConfig, GPUConfig, SamplingConfig
 from repro.core.estimates import geometric_mean, sampling_error
 from repro.core.pipeline import TBPointResult, run_tbpoint
+from repro.exec.cache import cached_profile
+from repro.exec.engine import DEFAULT_EXECUTION, ExecutionConfig, parallel_map
 from repro.model.montecarlo import IPCVariation, ipc_variation
 from repro.profiler.functional import KernelProfile, profile_kernel
 from repro.sim.gpu import GPUSimulator
@@ -112,22 +114,31 @@ def run_kernel_comparison(
     gpu: GPUConfig | None = None,
     sampling: SamplingConfig | None = None,
     profile: KernelProfile | None = None,
+    exec_config: ExecutionConfig | None = None,
 ) -> KernelComparison:
     """Run Full, TBPoint, Ideal-SimPoint and Random on one kernel."""
     experiment = experiment or ExperimentConfig()
     gpu = gpu or GPUConfig()
     sampling = sampling or SamplingConfig()
+    exec_config = exec_config or DEFAULT_EXECUTION
 
     kernel = get_workload(name, scale=experiment.scale, seed=experiment.seed)
     if profile is None:
-        profile = profile_kernel(kernel)
+        profile = cached_profile(kernel, exec_config)
     simulator = GPUSimulator(gpu)
 
     unit_insts = _unit_size(profile.total_warp_insts, experiment.target_units)
-    full = run_full(kernel, gpu, simulator, unit_insts=unit_insts)
+    full = run_full(
+        kernel, gpu, simulator, unit_insts=unit_insts, exec_config=exec_config
+    )
 
     tbp = run_tbpoint(
-        kernel, gpu, sampling, profile=profile, simulator=simulator
+        kernel,
+        gpu,
+        sampling,
+        profile=profile,
+        simulator=simulator,
+        exec_config=exec_config,
     )
     rng = np.random.default_rng(experiment.seed)
     simpoint = estimate_simpoint(full, max_k=experiment.simpoint_max_k, rng=rng)
@@ -145,19 +156,62 @@ def run_kernel_comparison(
     )
 
 
+def _comparison_task(task) -> KernelComparison:
+    """Picklable per-kernel worker for the Fig. 9/10 sweep."""
+    name, experiment, gpu, sampling, exec_config = task
+    return run_kernel_comparison(
+        name, experiment, gpu, sampling, exec_config=exec_config
+    )
+
+
 def run_fig9_fig10(
     kernels: tuple[str, ...] = ALL_KERNELS,
     experiment: ExperimentConfig | None = None,
     gpu: GPUConfig | None = None,
     sampling: SamplingConfig | None = None,
+    exec_config: ExecutionConfig | None = None,
 ) -> ComparisonSummary:
-    """The headline evaluation: all kernels x all techniques."""
+    """The headline evaluation: all kernels x all techniques.
+
+    With ``exec_config.jobs > 1`` the per-kernel comparisons fan out
+    across worker processes (each worker runs its kernel serially, so
+    pools never nest); results are merged in kernel order, identical to
+    the serial sweep.
+    """
+    exec_config = exec_config or DEFAULT_EXECUTION
+    jobs = exec_config.effective_jobs
+    inner = exec_config.serial() if jobs > 1 and len(kernels) > 1 else exec_config
+    tasks = [(name, experiment, gpu, sampling, inner) for name in kernels]
     summary = ComparisonSummary()
-    for name in kernels:
-        summary.comparisons.append(
-            run_kernel_comparison(name, experiment, gpu, sampling)
-        )
+    summary.comparisons.extend(parallel_map(_comparison_task, tasks, jobs))
     return summary
+
+
+# ----------------------------------------------------------------------
+# Fig. 11: inter/intra skipped-instruction breakdown
+# ----------------------------------------------------------------------
+def _breakdown_task(task) -> TBPointResult:
+    """Picklable per-kernel worker for the Fig. 11 sweep."""
+    name, experiment, gpu, sampling, exec_config = task
+    experiment = experiment or ExperimentConfig()
+    kernel = get_workload(name, scale=experiment.scale, seed=experiment.seed)
+    return run_tbpoint(kernel, gpu, sampling, exec_config=exec_config)
+
+
+def run_breakdown(
+    kernels: tuple[str, ...] = ALL_KERNELS,
+    experiment: ExperimentConfig | None = None,
+    gpu: GPUConfig | None = None,
+    sampling: SamplingConfig | None = None,
+    exec_config: ExecutionConfig | None = None,
+) -> list[TBPointResult]:
+    """TBPoint runs for Fig. 11's skipped-instruction breakdown, one
+    result per kernel in input order."""
+    exec_config = exec_config or DEFAULT_EXECUTION
+    jobs = exec_config.effective_jobs
+    inner = exec_config.serial() if jobs > 1 and len(kernels) > 1 else exec_config
+    tasks = [(name, experiment, gpu, sampling, inner) for name in kernels]
+    return parallel_map(_breakdown_task, tasks, jobs)
 
 
 # ----------------------------------------------------------------------
@@ -189,41 +243,61 @@ SENSITIVITY_CONFIGS: tuple[tuple[int, int], ...] = (
 )
 
 
+def _sensitivity_task(task) -> list[SensitivityPoint]:
+    """Picklable per-kernel worker: all hardware configs of one kernel
+    against one shared (cached) functional profile."""
+    name, configs, experiment, sampling, exec_config = task
+    kernel = get_workload(name, scale=experiment.scale, seed=experiment.seed)
+    profile = cached_profile(kernel, exec_config)  # one-time profiling
+    points: list[SensitivityPoint] = []
+    for warps, sms in configs:
+        gpu = GPUConfig().with_(warps_per_sm=warps, num_sms=sms)
+        simulator = GPUSimulator(gpu)
+        full = run_full(kernel, gpu, simulator, exec_config=exec_config)
+        tbp = run_tbpoint(
+            kernel,
+            gpu,
+            sampling,
+            profile=profile,
+            simulator=simulator,
+            exec_config=exec_config,
+        )
+        points.append(
+            SensitivityPoint(
+                kernel=name,
+                warps_per_sm=warps,
+                num_sms=sms,
+                error=sampling_error(tbp.overall_ipc, full.overall_ipc),
+                sample_size=tbp.sample_size,
+            )
+        )
+    return points
+
+
 def run_sensitivity(
     kernels: tuple[str, ...],
     configs: tuple[tuple[int, int], ...] = SENSITIVITY_CONFIGS,
     experiment: ExperimentConfig | None = None,
     sampling: SamplingConfig | None = None,
+    exec_config: ExecutionConfig | None = None,
 ) -> list[SensitivityPoint]:
     """Run TBPoint against a full reference for each hardware config.
 
     Per Section V-C, the functional profile is computed once per kernel
     and reused across configurations; only the epoch clustering (inside
     ``run_tbpoint``) is redone, because the system occupancy changes.
+    With ``exec_config.jobs > 1`` kernels fan out across worker
+    processes; points are returned in (kernel, config) input order
+    either way.
     """
     experiment = experiment or ExperimentConfig()
     sampling = sampling or SamplingConfig()
-    points: list[SensitivityPoint] = []
-    for name in kernels:
-        kernel = get_workload(name, scale=experiment.scale, seed=experiment.seed)
-        profile = profile_kernel(kernel)  # one-time profiling
-        for warps, sms in configs:
-            gpu = GPUConfig().with_(warps_per_sm=warps, num_sms=sms)
-            simulator = GPUSimulator(gpu)
-            full = run_full(kernel, gpu, simulator)
-            tbp = run_tbpoint(
-                kernel, gpu, sampling, profile=profile, simulator=simulator
-            )
-            points.append(
-                SensitivityPoint(
-                    kernel=name,
-                    warps_per_sm=warps,
-                    num_sms=sms,
-                    error=sampling_error(tbp.overall_ipc, full.overall_ipc),
-                    sample_size=tbp.sample_size,
-                )
-            )
-    return points
+    exec_config = exec_config or DEFAULT_EXECUTION
+    jobs = exec_config.effective_jobs
+    inner = exec_config.serial() if jobs > 1 and len(kernels) > 1 else exec_config
+    tasks = [(name, configs, experiment, sampling, inner) for name in kernels]
+    per_kernel = parallel_map(_sensitivity_task, tasks, jobs)
+    return [point for points in per_kernel for point in points]
 
 
 # ----------------------------------------------------------------------
@@ -335,6 +409,7 @@ __all__ = [
     "ComparisonSummary",
     "run_kernel_comparison",
     "run_fig9_fig10",
+    "run_breakdown",
     "SensitivityPoint",
     "SENSITIVITY_CONFIGS",
     "run_sensitivity",

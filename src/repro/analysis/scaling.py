@@ -15,7 +15,8 @@ from repro.baselines import run_full
 from repro.config import GPUConfig, SamplingConfig
 from repro.core.estimates import sampling_error
 from repro.core.pipeline import run_tbpoint
-from repro.profiler import profile_kernel
+from repro.exec.cache import cached_profile
+from repro.exec.engine import DEFAULT_EXECUTION, ExecutionConfig, parallel_map
 from repro.sim import GPUSimulator
 from repro.workloads import get_workload
 
@@ -34,43 +35,58 @@ class ScalePoint:
     sample_size: float
 
 
+def _scale_task(task) -> ScalePoint:
+    """Picklable per-scale worker (each scale is an independent trace)."""
+    kernel_name, scale, seed, gpu, sampling, exec_config = task
+    kernel = get_workload(kernel_name, scale=scale, seed=seed)
+    profile = cached_profile(kernel, exec_config)
+    simulator = GPUSimulator(gpu)
+    full = run_full(kernel, gpu, simulator, exec_config=exec_config)
+    tbp = run_tbpoint(
+        kernel,
+        gpu,
+        sampling,
+        profile=profile,
+        simulator=simulator,
+        exec_config=exec_config,
+    )
+    return ScalePoint(
+        kernel=kernel_name,
+        scale=scale,
+        num_blocks=kernel.num_blocks,
+        total_warp_insts=profile.total_warp_insts,
+        full_ipc=full.overall_ipc,
+        tbpoint_ipc=tbp.overall_ipc,
+        error=sampling_error(tbp.overall_ipc, full.overall_ipc),
+        sample_size=tbp.sample_size,
+    )
+
+
 def run_scaling(
     kernel_name: str,
     scales: tuple[float, ...] = (0.0625, 0.125, 0.25, 0.5),
     seed: int = 2014,
     gpu: GPUConfig | None = None,
     sampling: SamplingConfig | None = None,
+    exec_config: ExecutionConfig | None = None,
 ) -> list[ScalePoint]:
     """Measure TBPoint error and sample size across workload scales.
 
     Each scale gets its own full-simulation reference, so the cost grows
     linearly with the largest scale; keep the list modest for big
-    kernels.
+    kernels.  With ``exec_config.jobs > 1`` the scales fan out across
+    worker processes (each one serial inside); points come back in
+    input-scale order regardless.
     """
     gpu = gpu or GPUConfig()
     sampling = sampling or SamplingConfig()
-    points: list[ScalePoint] = []
-    for scale in scales:
-        kernel = get_workload(kernel_name, scale=scale, seed=seed)
-        profile = profile_kernel(kernel)
-        simulator = GPUSimulator(gpu)
-        full = run_full(kernel, gpu, simulator)
-        tbp = run_tbpoint(
-            kernel, gpu, sampling, profile=profile, simulator=simulator
-        )
-        points.append(
-            ScalePoint(
-                kernel=kernel_name,
-                scale=scale,
-                num_blocks=kernel.num_blocks,
-                total_warp_insts=profile.total_warp_insts,
-                full_ipc=full.overall_ipc,
-                tbpoint_ipc=tbp.overall_ipc,
-                error=sampling_error(tbp.overall_ipc, full.overall_ipc),
-                sample_size=tbp.sample_size,
-            )
-        )
-    return points
+    exec_config = exec_config or DEFAULT_EXECUTION
+    jobs = exec_config.effective_jobs
+    inner = exec_config.serial() if jobs > 1 and len(scales) > 1 else exec_config
+    tasks = [
+        (kernel_name, scale, seed, gpu, sampling, inner) for scale in scales
+    ]
+    return parallel_map(_scale_task, tasks, jobs)
 
 
 __all__ = ["ScalePoint", "run_scaling"]

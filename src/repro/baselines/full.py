@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import GPUConfig
+from repro.exec.engine import DEFAULT_EXECUTION, ExecutionConfig, parallel_map
 from repro.sim.gpu import FixedUnitRecorder, GPUSimulator, LaunchResult, UnitRecord
 from repro.trace import KernelTrace
+from repro.trace.launch import LaunchTrace
 
 
 @dataclass
@@ -53,12 +55,41 @@ class FullRunResult:
         return total
 
 
+def _simulate_full_launch(
+    launch: LaunchTrace,
+    gpu: GPUConfig,
+    unit_insts: int | None,
+    record_bbv: bool,
+    simulator: GPUSimulator | None = None,
+) -> tuple[LaunchResult, list[UnitRecord]]:
+    """Simulate one launch in full; shared by the serial loop and the
+    process-pool workers (launch timings are order-independent because
+    the memory hierarchy is reset per launch)."""
+    simulator = simulator or GPUSimulator(gpu)
+    recorder = None
+    if unit_insts is not None:
+        recorder = FixedUnitRecorder(
+            unit_insts=unit_insts,
+            num_bbs=launch.num_bbs,
+            record_bbv=record_bbv,
+        )
+    result = simulator.run_launch(launch, recorder=recorder)
+    return result, recorder.units if recorder is not None else []
+
+
+def _full_launch_task(task) -> tuple[LaunchResult, list[UnitRecord]]:
+    """Picklable process-pool entry point."""
+    launch, gpu, unit_insts, record_bbv = task
+    return _simulate_full_launch(launch, gpu, unit_insts, record_bbv)
+
+
 def run_full(
     kernel: KernelTrace,
     gpu: GPUConfig | None = None,
     simulator: GPUSimulator | None = None,
     unit_insts: int | None = None,
     record_bbv: bool = True,
+    exec_config: ExecutionConfig | None = None,
 ) -> FullRunResult:
     """Simulate every launch of ``kernel`` in full.
 
@@ -72,24 +103,31 @@ def run_full(
     record_bbv:
         Collect per-unit basic-block vectors (needed by Ideal-SimPoint,
         not by Random).
+    exec_config:
+        Batch execution: with ``jobs > 1``, launches are simulated in
+        worker processes and merged in launch order — bit-identical to
+        the serial run (the supplied ``simulator`` is then unused).
     """
     gpu = gpu or GPUConfig()
-    simulator = simulator or GPUSimulator(gpu)
+    exec_config = exec_config or DEFAULT_EXECUTION
 
+    jobs = exec_config.effective_jobs
+    if jobs > 1 and kernel.num_launches > 1:
+        tasks = [(l, gpu, unit_insts, record_bbv) for l in kernel.launches]
+        outcomes = parallel_map(_full_launch_task, tasks, jobs)
+    else:
+        simulator = simulator or GPUSimulator(gpu)
+        outcomes = [
+            _simulate_full_launch(
+                launch, gpu, unit_insts, record_bbv, simulator=simulator
+            )
+            for launch in kernel.launches
+        ]
     launch_results: list[LaunchResult] = []
     units: list[UnitRecord] = []
-    for launch in kernel.launches:
-        recorder = None
-        if unit_insts is not None:
-            recorder = FixedUnitRecorder(
-                unit_insts=unit_insts,
-                num_bbs=launch.num_bbs,
-                record_bbv=record_bbv,
-            )
-        result = simulator.run_launch(launch, recorder=recorder)
+    for result, launch_units in outcomes:
         launch_results.append(result)
-        if recorder is not None:
-            units.extend(recorder.units)
+        units.extend(launch_units)
     return FullRunResult(
         kernel_name=kernel.name,
         launch_results=launch_results,

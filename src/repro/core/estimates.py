@@ -105,8 +105,15 @@ def compose_kernel_estimate(
             simulated = True
         else:
             # Unsimulated launch: Table IV — predicted to run at its
-            # representative's IPC.
-            est_cycles = insts / rep.est_ipc if rep.est_ipc else 0.0
+            # representative's IPC.  A representative with no estimated
+            # IPC cannot price its cluster; silently contributing zero
+            # cycles here would inflate the kernel IPC.
+            if rep.est_ipc <= 0:
+                raise ValueError(
+                    f"representative launch {rep_id} has non-positive "
+                    f"estimated IPC; cannot predict launch {launch_id}"
+                )
+            est_cycles = insts / rep.est_ipc
             simulated_insts = 0
             simulated = False
         estimates.append(

@@ -26,9 +26,12 @@ from repro.core.estimates import KernelEstimate, compose_kernel_estimate
 from repro.core.interlaunch import InterLaunchPlan, plan_inter_launch, trivial_plan
 from repro.core.intralaunch import RegionSampler
 from repro.core.regions import RegionTable, identify_regions
-from repro.profiler.functional import KernelProfile, profile_kernel
+from repro.exec.cache import cached_profile
+from repro.exec.engine import DEFAULT_EXECUTION, ExecutionConfig, parallel_map
+from repro.profiler.functional import KernelProfile, LaunchProfile
 from repro.sim.gpu import GPUSimulator, LaunchResult
 from repro.trace import KernelTrace
+from repro.trace.launch import LaunchTrace
 
 
 @dataclass
@@ -75,6 +78,49 @@ class TBPointResult:
         return (inter / total, intra / total)
 
 
+def simulate_representative(
+    launch: LaunchTrace,
+    launch_profile: LaunchProfile,
+    gpu: GPUConfig,
+    sampling: SamplingConfig,
+    use_intra: bool,
+    simulator: GPUSimulator | None = None,
+) -> tuple[RegionTable | None, RegionSampler | None, LaunchResult]:
+    """Simulate one representative launch (steps 3 of Figs. 2-3): build
+    the epoch table, identify homogeneous regions, run the timing
+    simulation with region sampling.
+
+    This is the unit of work the batch execution engine ships to worker
+    processes; the serial path calls the very same function (with a
+    shared, reset simulator), which is why parallel and serial runs are
+    bit-identical: launch timing depends only on the arguments here,
+    never on simulation order (the memory hierarchy is reset per launch).
+    """
+    simulator = simulator or GPUSimulator(gpu)
+    table: RegionTable | None = None
+    sampler: RegionSampler | None = None
+    if use_intra:
+        occupancy = gpu.system_occupancy(launch.warps_per_block)
+        epochs = build_epochs(launch_profile, occupancy)
+        table = identify_regions(epochs, sampling)
+        sampler = RegionSampler(
+            region_of=table.region_of,
+            block_warp_insts=launch_profile.warp_insts,
+            config=sampling,
+            occupancy=occupancy,
+            cluster_of_region={r.region_id: r.cluster for r in table.regions},
+        )
+    result = simulator.run_launch(launch, sampler=sampler)
+    return table, sampler, result
+
+
+def _rep_launch_task(task) -> tuple:
+    """Picklable worker: simulate one representative launch in a fresh
+    simulator (process-pool entry point)."""
+    launch, launch_profile, gpu, sampling, use_intra = task
+    return simulate_representative(launch, launch_profile, gpu, sampling, use_intra)
+
+
 def run_tbpoint(
     kernel: KernelTrace,
     gpu: GPUConfig | None = None,
@@ -85,6 +131,7 @@ def run_tbpoint(
     use_intra: bool = True,
     feature_mask: tuple[bool, bool, bool, bool] | None = None,
     extra_features: np.ndarray | None = None,
+    exec_config: ExecutionConfig | None = None,
 ) -> TBPointResult:
     """Run TBPoint on one kernel and return the composed estimate.
 
@@ -105,12 +152,20 @@ def run_tbpoint(
     feature_mask / extra_features:
         Forwarded to :func:`plan_inter_launch` for ablation studies and
         the BBV-feature extension.
+    exec_config:
+        Batch execution: worker count for fanning representative-launch
+        simulations across processes, and whether to consult the
+        persistent profile cache when ``profile`` is not supplied.
+        ``None`` keeps the library default (serial, no cache).  The
+        merge is deterministic — results are keyed by launch ID and
+        collected in plan order — so any ``jobs`` value yields
+        bit-identical estimates.
     """
     gpu = gpu or GPUConfig()
     sampling = sampling or SamplingConfig()
+    exec_config = exec_config or DEFAULT_EXECUTION
     if profile is None:
-        profile = profile_kernel(kernel)
-    simulator = simulator or GPUSimulator(gpu)
+        profile = cached_profile(kernel, exec_config)
 
     if use_inter:
         plan = plan_inter_launch(
@@ -122,26 +177,33 @@ def run_tbpoint(
     region_tables: dict[int, RegionTable] = {}
     rep_results: dict[int, LaunchResult] = {}
     samplers: dict[int, RegionSampler] = {}
-    for launch_id in plan.simulated_launches:
-        launch = kernel.launches[launch_id]
-        launch_profile = profile.launches[launch_id]
-        sampler = None
-        if use_intra:
-            occupancy = gpu.system_occupancy(launch.warps_per_block)
-            epochs = build_epochs(launch_profile, occupancy)
-            table = identify_regions(epochs, sampling)
-            region_tables[launch_id] = table
-            sampler = RegionSampler(
-                region_of=table.region_of,
-                block_warp_insts=launch_profile.warp_insts,
-                config=sampling,
-                occupancy=occupancy,
-                cluster_of_region={
-                    r.region_id: r.cluster for r in table.regions
-                },
+    sim_launches = plan.simulated_launches
+    jobs = exec_config.effective_jobs
+    if jobs > 1 and len(sim_launches) > 1:
+        tasks = [
+            (kernel.launches[lid], profile.launches[lid], gpu, sampling, use_intra)
+            for lid in sim_launches
+        ]
+        outcomes = parallel_map(_rep_launch_task, tasks, jobs)
+    else:
+        simulator = simulator or GPUSimulator(gpu)
+        outcomes = [
+            simulate_representative(
+                kernel.launches[lid],
+                profile.launches[lid],
+                gpu,
+                sampling,
+                use_intra,
+                simulator=simulator,
             )
+            for lid in sim_launches
+        ]
+    for launch_id, (table, sampler, result) in zip(sim_launches, outcomes):
+        if table is not None:
+            region_tables[launch_id] = table
+        if sampler is not None:
             samplers[launch_id] = sampler
-        rep_results[launch_id] = simulator.run_launch(launch, sampler=sampler)
+        rep_results[launch_id] = result
 
     estimate = compose_kernel_estimate(profile, plan, rep_results)
     return TBPointResult(
@@ -154,4 +216,4 @@ def run_tbpoint(
     )
 
 
-__all__ = ["TBPointResult", "run_tbpoint"]
+__all__ = ["TBPointResult", "run_tbpoint", "simulate_representative"]

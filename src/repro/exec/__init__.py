@@ -1,0 +1,46 @@
+"""Batch execution engine: parallel fan-out + persistent profile cache.
+
+Two orthogonal services behind one configuration object
+(:class:`ExecutionConfig`):
+
+* :func:`parallel_map` — deterministic process-pool fan-out (results
+  always in input order, bit-identical to the serial path);
+* :class:`ProfileCache` — a content-addressed on-disk store of the
+  one-time functional profiles, so ``profile_kernel`` runs once per
+  kernel trace *ever* (the profile is hardware-independent, Sec. V-C).
+
+``run_tbpoint``, ``run_full`` and every experiment driver accept an
+``exec_config``; the CLI exposes it as ``--jobs`` / ``--no-cache`` /
+``--cache-dir`` plus the ``repro cache {info,clear}`` maintenance
+commands.
+"""
+
+from repro.exec.cache import (
+    CACHE_FORMAT_VERSION,
+    ProfileCache,
+    cached_profile,
+    default_cache_dir,
+    kernel_cache_key,
+    kernel_fingerprint,
+)
+from repro.exec.engine import (
+    DEFAULT_EXECUTION,
+    ExecutionConfig,
+    chunked,
+    default_jobs,
+    parallel_map,
+)
+
+__all__ = [
+    "ExecutionConfig",
+    "DEFAULT_EXECUTION",
+    "default_jobs",
+    "parallel_map",
+    "chunked",
+    "ProfileCache",
+    "cached_profile",
+    "default_cache_dir",
+    "kernel_cache_key",
+    "kernel_fingerprint",
+    "CACHE_FORMAT_VERSION",
+]

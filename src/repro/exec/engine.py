@@ -1,0 +1,143 @@
+"""Deterministic parallel fan-out over a process pool.
+
+The batch execution engine parallelizes the two embarrassingly parallel
+axes of the evaluation:
+
+* *launches* — representative-launch simulations within one
+  :func:`~repro.core.pipeline.run_tbpoint` call (and the per-launch
+  full-simulation reference), which are independent because the memory
+  hierarchy is reset at every launch;
+* *kernels* — whole-kernel experiments within a sweep
+  (``run_fig9_fig10``, ``run_sensitivity``), which are independent by
+  construction.
+
+Determinism contract: :func:`parallel_map` returns results in the exact
+order of its input items, every worker computes with the same pure
+functions and inputs as the serial path, and nothing about scheduling
+leaks into results — so parallel and serial runs produce bit-identical
+estimates (property-tested in ``tests/test_exec_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_jobs() -> int:
+    """The default worker count: every available CPU."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a pipeline/sweep invocation executes.
+
+    Attributes
+    ----------
+    jobs:
+        Worker-process count; 0 means :func:`default_jobs` (all CPUs),
+        1 forces fully serial in-process execution.
+    use_cache:
+        Consult/populate the persistent on-disk profile cache.
+    cache_dir:
+        Override the cache directory (default: ``$TBPOINT_CACHE_DIR`` or
+        ``~/.cache/tbpoint``).
+    """
+
+    jobs: int = 1
+    use_cache: bool = True
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = all CPUs)")
+
+    @property
+    def effective_jobs(self) -> int:
+        return self.jobs if self.jobs > 0 else default_jobs()
+
+    def serial(self) -> "ExecutionConfig":
+        """A copy that runs in-process (used inside worker processes so
+        nested fan-out never spawns pools of pools)."""
+        return ExecutionConfig(
+            jobs=1, use_cache=self.use_cache, cache_dir=self.cache_dir
+        )
+
+    def with_(self, **changes) -> "ExecutionConfig":
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)
+
+
+#: Execution used when no configuration is supplied: serial, cache off.
+#: Keeps the library functions pure-by-default; opting into persistence
+#: and parallelism is explicit (the CLI does, with cache on and all CPUs).
+DEFAULT_EXECUTION = ExecutionConfig(jobs=1, use_cache=False)
+
+
+def _is_picklable(obj) -> bool:
+    try:
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        return True
+    except Exception:
+        return False
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: int,
+) -> list[R]:
+    """Map ``fn`` over ``items``, fanning out across processes.
+
+    Results are returned in input order regardless of completion order,
+    which is what makes parallel merges deterministic.  Falls back to a
+    plain serial map when parallelism cannot help (``jobs <= 1`` or
+    fewer than two items) or cannot work (``fn``/items not picklable,
+    e.g. hand-built traces whose factories are closures).
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) < 2:
+        return [fn(item) for item in items]
+    if not (_is_picklable(fn) and all(_is_picklable(i) for i in items)):
+        return [fn(item) for item in items]
+    workers = min(jobs, len(items))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    except (OSError, RuntimeError):
+        # Process pools may be unavailable (sandboxes, nested daemons);
+        # the serial path is always correct, only slower.
+        return [fn(item) for item in items]
+
+
+def chunked(items: Iterable[T], size: int) -> list[list[T]]:
+    """Split ``items`` into consecutive chunks of at most ``size``."""
+    if size < 1:
+        raise ValueError("chunk size must be positive")
+    out: list[list[T]] = []
+    chunk: list[T] = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) == size:
+            out.append(chunk)
+            chunk = []
+    if chunk:
+        out.append(chunk)
+    return out
+
+
+__all__ = [
+    "ExecutionConfig",
+    "DEFAULT_EXECUTION",
+    "default_jobs",
+    "parallel_map",
+    "chunked",
+]

@@ -20,6 +20,11 @@ import numpy as np
 
 from repro.trace import KernelTrace, LaunchTrace
 
+#: Version of the functional-profiling algorithm.  Part of the on-disk
+#: profile-cache key: bump it whenever the counters or their definitions
+#: change so stale cached profiles are invalidated.
+PROFILER_VERSION = 1
+
 
 @dataclass
 class LaunchProfile:
@@ -139,4 +144,10 @@ def profile_kernel(kernel: KernelTrace) -> KernelProfile:
     )
 
 
-__all__ = ["LaunchProfile", "KernelProfile", "profile_launch", "profile_kernel"]
+__all__ = [
+    "LaunchProfile",
+    "KernelProfile",
+    "profile_launch",
+    "profile_kernel",
+    "PROFILER_VERSION",
+]

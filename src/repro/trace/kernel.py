@@ -20,6 +20,12 @@ class KernelTrace:
     suite: str
     kind: str
     launches: list[LaunchTrace] = field(default_factory=list)
+    #: Optional cheap identity for caching: a tuple that deterministically
+    #: identifies the trace content without walking it (e.g.
+    #: ``("workload", name, scale, seed, generator_version)`` as set by
+    #: :func:`repro.workloads.get_workload`).  ``None`` means the trace
+    #: has no known provenance and content hashing is required.
+    provenance: tuple | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("regular", "irregular"):

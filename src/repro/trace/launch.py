@@ -61,6 +61,14 @@ class LaunchTrace:
             self._cache.popitem(last=False)
         return block
 
+    def __getstate__(self) -> dict:
+        """Pickle support: the memoization window is dropped (workers
+        regenerate blocks on demand), so a launch pickles iff its factory
+        does — true for all spec-synthesized workload launches."""
+        state = self.__dict__.copy()
+        state["_cache"] = OrderedDict()
+        return state
+
     def iter_blocks(self) -> Iterator[BlockTrace]:
         """Iterate thread blocks in dispatch (ID) order."""
         for tb_id in range(self.num_blocks):

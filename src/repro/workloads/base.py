@@ -44,6 +44,11 @@ from repro.trace.blocktrace import BlockStats
 #: Cache-line granularity of generated addresses (Table V: 128 B lines).
 LINE = 128
 
+#: Version of the synthetic-trace generator.  Part of the profile-cache
+#: key: bump it whenever block synthesis changes so stale cached
+#: profiles are never reused for regenerated traces.
+GENERATOR_VERSION = 1
+
 #: Bytes reserved per launch in the synthetic address space, so distinct
 #: launches never alias in the caches.
 _LAUNCH_SPAN = 1 << 34
@@ -347,6 +352,56 @@ def _synthesize_block(
     return block
 
 
+@lru_cache(maxsize=512)
+def _segment_bounds(spec: LaunchSpec) -> np.ndarray:
+    """Cumulative segment end thread-block IDs of a launch spec."""
+    bounds = np.cumsum([s.count for s in spec.segments])
+    bounds.setflags(write=False)
+    return bounds
+
+
+@dataclass(frozen=True)
+class SpecBlockFactory:
+    """Picklable block factory for spec-synthesized launches.
+
+    Equivalent to the closure it replaces, but a plain dataclass of
+    immutable fields so :class:`LaunchTrace` objects built from specs can
+    cross process boundaries (the batch execution engine ships launches
+    to worker processes).
+    """
+
+    spec: LaunchSpec
+    seed: int
+    launch_id: int
+    data_id: int
+    num_bbs: int
+
+    def __call__(self, tb_id: int) -> BlockTrace:
+        spec = self.spec
+        bounds = _segment_bounds(spec)
+        seg_index = int(np.searchsorted(bounds, tb_id, side="right"))
+        seg = spec.segments[seg_index]
+        seg_start = 0 if seg_index == 0 else int(bounds[seg_index - 1])
+        addr_base = self.data_id * _LAUNCH_SPAN
+        seg_base = addr_base + seg_index * (
+            _LAUNCH_SPAN // max(1, len(spec.segments))
+        )
+        key_id = self.data_id
+        perturb_cut = int(spec.perturb * 10_000)
+        if perturb_cut and ((tb_id * 2654435761) % 10_000) < perturb_cut:
+            key_id = 1_000_000 + self.launch_id  # launch-specific data
+        return _synthesize_block(
+            tb_id,
+            seg,
+            spec,
+            self.seed,
+            key_id,
+            tb_id - seg_start,
+            int(seg_base),
+            self.num_bbs,
+        )
+
+
 def make_launch(
     kernel_name: str,
     launch_id: int,
@@ -355,39 +410,21 @@ def make_launch(
     num_bbs: int,
 ) -> LaunchTrace:
     """Build a lazily synthesized :class:`LaunchTrace` from a spec."""
-    bounds = np.cumsum([s.count for s in spec.segments])
     # Launches over fresh data get their own RNG stream and address
     # range; launches sharing a data_key are bit-identical re-executions.
     data_id = spec.data_key if spec.data_key is not None else launch_id
-    addr_base = data_id * _LAUNCH_SPAN
-    seg_bases = addr_base + np.arange(len(spec.segments), dtype=np.int64) * (
-        _LAUNCH_SPAN // max(1, len(spec.segments))
+    factory = SpecBlockFactory(
+        spec=spec,
+        seed=seed,
+        launch_id=launch_id,
+        data_id=data_id,
+        num_bbs=num_bbs,
     )
-
-    perturb_cut = int(spec.perturb * 10_000)
-
-    def factory(tb_id: int) -> BlockTrace:
-        seg_index = int(np.searchsorted(bounds, tb_id, side="right"))
-        seg = spec.segments[seg_index]
-        seg_start = 0 if seg_index == 0 else int(bounds[seg_index - 1])
-        key_id = data_id
-        if perturb_cut and ((tb_id * 2654435761) % 10_000) < perturb_cut:
-            key_id = 1_000_000 + launch_id  # launch-specific data
-        return _synthesize_block(
-            tb_id,
-            seg,
-            spec,
-            seed,
-            key_id,
-            tb_id - seg_start,
-            int(seg_bases[seg_index]),
-            num_bbs,
-        )
 
     return LaunchTrace(
         kernel_name=kernel_name,
         launch_id=launch_id,
-        num_blocks=int(bounds[-1]),
+        num_blocks=spec.num_blocks,
         warps_per_block=spec.warps_per_block,
         factory=factory,
         num_bbs=num_bbs,
@@ -412,8 +449,10 @@ def build_kernel(
 
 __all__ = [
     "LINE",
+    "GENERATOR_VERSION",
     "Segment",
     "LaunchSpec",
+    "SpecBlockFactory",
     "build_kernel",
     "make_launch",
     "kernel_seed",

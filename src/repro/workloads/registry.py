@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.trace import KernelTrace
+from repro.workloads.base import GENERATOR_VERSION
 from repro.workloads.lonestar import build_bfs, build_mst, build_sssp
 from repro.workloads.parboil import build_lbm, build_mri, build_spmv
 from repro.workloads.rodinia import (
@@ -114,7 +115,9 @@ def get_workload(name: str, scale: float = 1.0, seed: int = 2014) -> KernelTrace
         builder = _BUILDERS[name]
     except KeyError:
         raise KeyError(f"unknown benchmark {name!r}; known: {ALL_KERNELS}") from None
-    return builder(scale, seed)
+    kernel = builder(scale, seed)
+    kernel.provenance = ("workload", name, float(scale), int(seed), GENERATOR_VERSION)
+    return kernel
 
 
 __all__ = [

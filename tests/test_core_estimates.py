@@ -109,6 +109,49 @@ class TestComposeKernelEstimate:
             )
 
 
+class TestNoSamplingCorner:
+    """The use_inter=False, use_intra=False corner: a trivial plan where
+    every launch is its own representative and nothing is skipped."""
+
+    def test_all_simulated_trivial_plan(self):
+        profile = KernelProfile(
+            "k", [launch_profile(i, 1000 * (i + 1)) for i in range(3)]
+        )
+        plan = make_plan([0, 1, 2], [0, 1, 2])
+        reps = {
+            i: launch_result(i, issued=1000 * (i + 1), wall=400 * (i + 1))
+            for i in range(3)
+        }
+        est = compose_kernel_estimate(profile, plan, reps)
+        assert all(l.simulated for l in est.launches)
+        assert est.sample_size == 1.0
+        assert est.total_warp_insts == 6000
+        # Overall IPC is the plain ratio of totals, no prediction terms.
+        assert est.overall_ipc == pytest.approx(6000 / 2400)
+
+    def test_zero_ipc_representative_rejected(self):
+        """A representative with no estimated IPC cannot price an
+        unsimulated launch; silently contributing zero cycles would
+        inflate the kernel IPC."""
+        profile = KernelProfile(
+            "k", [launch_profile(0, 1000), launch_profile(1, 1000)]
+        )
+        plan = make_plan([0, 0], [0])
+        broken = launch_result(0, issued=0, wall=500)
+        with pytest.raises(ValueError, match="non-positive"):
+            compose_kernel_estimate(profile, plan, {0: broken})
+
+    def test_zero_ipc_rep_fine_when_fully_simulated(self):
+        """The same degenerate result is harmless under a trivial plan:
+        no launch needs the prediction."""
+        profile = KernelProfile("k", [launch_profile(0, 1000)])
+        plan = make_plan([0], [0])
+        broken = launch_result(0, issued=0, wall=500)
+        est = compose_kernel_estimate(profile, plan, {0: broken})
+        assert est.sample_size == 0.0
+        assert est.overall_ipc == pytest.approx(1000 / 500)
+
+
 class TestMetrics:
     def test_sampling_error(self):
         assert sampling_error(11.0, 10.0) == pytest.approx(0.1)

@@ -1,0 +1,157 @@
+"""Determinism of the batch execution engine.
+
+The contract (``repro.exec.engine``): results of a parallel run are
+bit-identical to the serial run — same estimates, same sample sizes,
+same per-launch results — for any job count.  Property-tested over
+randomly shaped kernels and ``jobs ∈ {1, 2, 4}``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import run_full
+from repro.config import GPUConfig
+from repro.core.pipeline import run_tbpoint
+from repro.exec import ExecutionConfig, parallel_map
+from repro.workloads import get_workload
+from repro.workloads.base import LaunchSpec, Segment, build_kernel
+
+from tests.conftest import make_uniform_kernel
+
+GPU = GPUConfig(num_sms=2, warps_per_sm=8)
+
+JOBS = st.sampled_from([1, 2, 4])
+
+
+@st.composite
+def small_kernels(draw):
+    """Tiny but shape-diverse kernels: varying launch counts, block
+    counts, instruction mixes, and seeds."""
+    num_launches = draw(st.integers(min_value=2, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    specs = []
+    for _ in range(num_launches):
+        blocks = draw(st.integers(min_value=8, max_value=24))
+        insts = draw(st.sampled_from([16, 24, 32]))
+        mem_ratio = draw(st.sampled_from([0.05, 0.1, 0.2]))
+        specs.append(
+            LaunchSpec(
+                segments=(
+                    Segment(
+                        count=blocks,
+                        insts_per_warp=insts,
+                        mem_ratio=mem_ratio,
+                    ),
+                ),
+                warps_per_block=2,
+            )
+        )
+    return build_kernel("prop", "test", "regular", specs, seed)
+
+
+def _fingerprint(tbp):
+    """Everything observable about a TBPoint run, for exact comparison."""
+    return (
+        tbp.overall_ipc,
+        tbp.sample_size,
+        tbp.inter_skipped_insts,
+        tbp.intra_skipped_insts,
+        tuple(sorted(tbp.rep_results)),
+        tuple(
+            (lid, r.issued_warp_insts, r.wall_cycles, r.skipped_warp_insts,
+             r.extra_cycles)
+            for lid, r in sorted(tbp.rep_results.items())
+        ),
+        tuple(
+            (e.launch_id, e.warp_insts, e.est_cycles, e.simulated_insts)
+            for e in tbp.estimate.launches
+        ),
+    )
+
+
+@pytest.mark.slow
+class TestParallelDeterminism:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(kernel=small_kernels(), jobs=JOBS)
+    def test_tbpoint_parallel_matches_serial(self, kernel, jobs):
+        serial = run_tbpoint(
+            kernel, GPU, exec_config=ExecutionConfig(jobs=1, use_cache=False)
+        )
+        par = run_tbpoint(
+            kernel, GPU,
+            exec_config=ExecutionConfig(jobs=jobs, use_cache=False),
+        )
+        assert _fingerprint(par) == _fingerprint(serial)
+
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(kernel=small_kernels(), jobs=JOBS)
+    def test_full_parallel_matches_serial(self, kernel, jobs):
+        serial = run_full(
+            kernel, GPU, exec_config=ExecutionConfig(jobs=1, use_cache=False)
+        )
+        par = run_full(
+            kernel, GPU,
+            exec_config=ExecutionConfig(jobs=jobs, use_cache=False),
+        )
+        assert par.overall_ipc == serial.overall_ipc
+        assert par.total_cycles == serial.total_cycles
+        assert len(par.launch_results) == len(serial.launch_results)
+        for a, b in zip(par.launch_results, serial.launch_results):
+            assert (a.issued_warp_insts, a.wall_cycles) == (
+                b.issued_warp_insts, b.wall_cycles
+            )
+
+
+class TestWorkloadTracesAreParallelizable:
+    """The fan-out only engages when tasks pickle; registry-built traces
+    must stay picklable or parallelism silently degrades to serial."""
+
+    def test_workload_trace_picklable(self):
+        kernel = get_workload("stream", scale=0.0625)
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert clone.num_launches == kernel.num_launches
+        a = clone.launches[0].block(0)
+        b = kernel.launches[0].block(0)
+        assert a.warps[0].op.tolist() == b.warps[0].op.tolist()
+
+    def test_uniform_kernel_picklable(self):
+        kernel = make_uniform_kernel(num_launches=2, blocks_per_launch=16)
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert clone.launches[1].num_blocks == 16
+
+
+class TestParallelMap:
+    def test_preserves_input_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=4) == [i * i for i in items]
+
+    def test_serial_path_identical(self):
+        items = list(range(7))
+        assert parallel_map(_square, items, jobs=1) == parallel_map(
+            _square, items, jobs=3
+        )
+
+    def test_unpicklable_falls_back_to_serial(self):
+        items = [1, 2, 3]
+        fn = lambda x: x + 1  # noqa: E731 — deliberately unpicklable
+        assert parallel_map(fn, items, jobs=4) == [2, 3, 4]
+
+    def test_single_item_stays_in_process(self):
+        assert parallel_map(_square, [5], jobs=8) == [25]
+
+
+def _square(x: int) -> int:
+    return x * x

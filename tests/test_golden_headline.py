@@ -1,0 +1,84 @@
+"""Golden regression pins for the headline pipeline numbers.
+
+``tests/fixtures/golden_headline.json`` checks in the exact TBPoint
+overall IPC, sample size, instruction totals and representative counts
+for three cheap Table VI kernels at a small scale.  Any change to the
+workload generator, profiler, clustering, region sampler or timing
+simulator that moves these numbers shows up here immediately — with the
+old and new values side by side — instead of silently shifting every
+reproduced figure.
+
+If a change is *intentional*, regenerate the fixture::
+
+    PYTHONPATH=src python tests/test_golden_headline.py
+
+and commit the diff together with the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import get_workload, run_tbpoint
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_headline.json"
+
+# Tight enough to catch any behavioural drift; loose enough to tolerate
+# floating-point differences across BLAS builds / platforms.
+REL_TOL = 1e-9
+
+
+def _golden() -> dict:
+    with open(FIXTURE) as fh:
+        return json.load(fh)["kernels"]
+
+
+def _measure(name: str, entry: dict) -> dict:
+    kernel = get_workload(name, scale=entry["scale"], seed=entry["seed"])
+    tbp = run_tbpoint(kernel)
+    return {
+        "scale": entry["scale"],
+        "seed": entry["seed"],
+        "overall_ipc": tbp.overall_ipc,
+        "sample_size": tbp.sample_size,
+        "total_warp_insts": tbp.estimate.total_warp_insts,
+        "num_representatives": len(tbp.rep_results),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(_golden()))
+def test_headline_numbers_pinned(name):
+    entry = _golden()[name]
+    got = _measure(name, entry)
+    assert got["overall_ipc"] == pytest.approx(
+        entry["overall_ipc"], rel=REL_TOL
+    ), f"{name}: overall IPC drifted from the golden value"
+    assert got["sample_size"] == pytest.approx(
+        entry["sample_size"], rel=REL_TOL
+    ), f"{name}: sample size drifted from the golden value"
+    assert got["total_warp_insts"] == entry["total_warp_insts"]
+    assert got["num_representatives"] == entry["num_representatives"]
+
+
+def test_fixture_covers_three_kernels():
+    assert len(_golden()) == 3
+
+
+def regenerate() -> None:
+    """Recompute every golden entry in place (run as a script)."""
+    with open(FIXTURE) as fh:
+        doc = json.load(fh)
+    for name, entry in doc["kernels"].items():
+        doc["kernels"][name] = _measure(name, entry)
+        print(f"{name}: {doc['kernels'][name]}")
+    with open(FIXTURE, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {FIXTURE}")
+
+
+if __name__ == "__main__":
+    regenerate()

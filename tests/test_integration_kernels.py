@@ -16,6 +16,8 @@ from repro.profiler import profile_kernel
 from repro.sim import GPUSimulator
 from repro.workloads import ALL_KERNELS, get_workload
 
+pytestmark = pytest.mark.slow
+
 SCALE = 0.02
 GPU = GPUConfig(num_sms=4, warps_per_sm=16)
 

@@ -112,3 +112,26 @@ class TestRunTBPoint:
             homogeneous, gpu, feature_mask=(True, True, False, False)
         )
         assert tbp.plan.features.shape[1] == 2
+
+
+class TestNoSamplingCorner:
+    """use_inter=False + use_intra=False degenerates to full simulation:
+    every launch is its own representative and nothing is skipped."""
+
+    def test_matches_full_simulation_exactly(self, gpu, homogeneous):
+        full = run_full(homogeneous, gpu)
+        tbp = run_tbpoint(
+            homogeneous, gpu, use_inter=False, use_intra=False
+        )
+        assert tbp.overall_ipc == full.overall_ipc
+        assert tbp.sample_size == 1.0
+        assert len(tbp.rep_results) == homogeneous.num_launches
+
+    def test_nothing_skipped(self, gpu, homogeneous):
+        tbp = run_tbpoint(
+            homogeneous, gpu, use_inter=False, use_intra=False
+        )
+        assert tbp.inter_skipped_insts == 0
+        assert tbp.intra_skipped_insts == 0
+        assert tbp.skip_breakdown() == (0.0, 0.0)
+        assert not tbp.region_tables
