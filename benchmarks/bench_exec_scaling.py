@@ -74,6 +74,12 @@ def test_parallel_speedup_and_cache_reuse(tmp_path):
         "serial_seconds": round(serial_s, 4),
         "parallel_seconds": round(par_s, 4),
         "parallel_speedup": round(speedup, 3),
+        # parallel_map's degrade decision: on small hosts (or tiny
+        # fan-outs) the "parallel" run legitimately takes the serial
+        # path, and the speedup above measures exactly that.
+        "exec_path": par.exec_meta.get("path"),
+        "exec_workers": par.exec_meta.get("workers"),
+        "exec_reason": par.exec_meta.get("reason"),
         "profile_cold_seconds": round(cold_s, 4),
         "profile_warm_seconds": round(warm_s, 4),
         "cache_speedup": round(cache_speedup, 3),
@@ -88,6 +94,10 @@ def test_parallel_speedup_and_cache_reuse(tmp_path):
 
     # A warm cache must beat re-profiling outright.
     assert warm_s < cold_s
+    # On a single-CPU host parallel_map must degrade to serial (the old
+    # behaviour spawned a useless pool and ran 0.67x).
+    if (os.cpu_count() or 1) == 1:
+        assert par.exec_meta["path"] == "serial"
     # The headline parallel claim only holds where the hardware can: on
     # a single-CPU box the pool adds overhead and proves nothing.
     if (os.cpu_count() or 1) >= 4 and len(serial.rep_results) >= JOBS:

@@ -1,0 +1,198 @@
+"""Timing-simulator hot path: compact engine vs per-instruction reference.
+
+Measures single-process simulator throughput (warp-insts/sec) of the
+compact engine (trace interning + round pool + segment batching) against
+the pre-overhaul reference engine, asserts the two produce bit-identical
+``LaunchResult``\\ s, and records everything to ``BENCH_sim.json`` at the
+repo root.
+
+Methodology — every choice here exists to make the ratio mean
+"simulator speed" and nothing else:
+
+* **Pre-materialized blocks.**  ``LaunchTrace.block`` synthesizes block
+  traces through a bounded LRU, so repeated runs of a >256-block launch
+  would re-synthesize numpy arrays every rep — identical cost for both
+  engines, pure dilution of the ratio.  The harness materializes every
+  block once up front; both engines then measure pure simulation.
+* **Interleaved reps, best-of-N.**  One-CPU hosts drift thermally by
+  10-20%; timing all reference reps then all compact reps would bake
+  the drift into the ratio.  Reps alternate reference/compact back to
+  back and each side reports its best rep.
+* **Warm engines.**  Both engines run once untimed first.  This also
+  lets the compact engine's simulator-lifetime trace interning engage,
+  exactly as it does across launches/relaunches in real experiment
+  drivers (one conversion per unique trace skeleton per simulator).
+* **Equivalence gate.**  Every rep's results are compared field by
+  field; a throughput number for a wrong simulation is meaningless.
+
+Environment knobs: ``REPRO_BENCH_SIM_KERNELS`` (default
+``hotspot,black,kmeans``), ``REPRO_BENCH_SIM_SCALE`` (default 0.125),
+``REPRO_BENCH_SIM_REPS`` (default 4).
+
+The smoke test compares the compact engine's *relative* throughput
+(speedup vs the in-process reference engine, which is machine- and
+load-independent) against the checked-in baseline
+``benchmarks/sim_smoke_baseline.json`` and fails on a >30% drop — the
+CI guard against hot-path regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis.report import render_table
+from repro.config import GPUConfig
+from repro.sim.gpu import GPUSimulator
+from repro.workloads import get_workload
+
+from conftest import emit
+
+KERNELS = [
+    n.strip()
+    for n in os.environ.get(
+        "REPRO_BENCH_SIM_KERNELS", "hotspot,black,kmeans"
+    ).split(",")
+    if n.strip()
+]
+SCALE = float(os.environ.get("REPRO_BENCH_SIM_SCALE", "0.125"))
+REPS = int(os.environ.get("REPRO_BENCH_SIM_REPS", "4"))
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+SMOKE_BASELINE = Path(__file__).resolve().parent / "sim_smoke_baseline.json"
+
+#: A >30% throughput drop against the checked-in baseline fails CI.
+SMOKE_TOLERANCE = 0.30
+
+
+def _materialize(launch):
+    """Replace the launch's LRU-backed factory with prebuilt blocks so
+    reps measure the simulator, not repeated trace synthesis."""
+    blocks = [launch._factory(i) for i in range(launch.num_blocks)]
+    launch._factory = blocks.__getitem__
+    return launch
+
+
+def _fingerprint(result):
+    return (
+        result.issued_warp_insts,
+        result.wall_cycles,
+        tuple(result.per_sm_issued),
+        tuple(result.per_sm_busy_cycles),
+        result.skipped_warp_insts,
+        result.extra_cycles,
+    )
+
+
+def bench_launch(launch, reps: int = REPS, gpu: GPUConfig | None = None):
+    """Interleaved best-of-``reps`` comparison of both engines on one
+    launch; returns the per-launch record (asserts bit-identical)."""
+    gpu = gpu or GPUConfig()
+    ref_sim = GPUSimulator(gpu, engine="reference")
+    compact_sim = GPUSimulator(gpu, engine="compact")
+    ref_res = ref_sim.run_launch(launch)  # warm-up (untimed)
+    compact_res = compact_sim.run_launch(launch)
+    assert _fingerprint(ref_res) == _fingerprint(compact_res)
+
+    best_ref = best_compact = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        ref_res = ref_sim.run_launch(launch)
+        t1 = time.perf_counter()
+        compact_res = compact_sim.run_launch(launch)
+        t2 = time.perf_counter()
+        assert _fingerprint(ref_res) == _fingerprint(compact_res)
+        best_ref = min(best_ref, t1 - t0)
+        best_compact = min(best_compact, t2 - t1)
+
+    insts = ref_res.issued_warp_insts
+    counters = compact_res.counters
+    return {
+        "warp_insts": insts,
+        "reference_seconds": round(best_ref, 4),
+        "compact_seconds": round(best_compact, 4),
+        "reference_ips": round(insts / best_ref),
+        "compact_ips": round(insts / best_compact),
+        "speedup": round(best_ref / best_compact, 3),
+        "identical_results": True,
+        "segment_insts_pct": round(
+            100.0 * counters.segment_insts / max(1, insts), 2
+        ),
+        "interning_hit_rate": round(
+            counters.interning_hits
+            / max(1, counters.interning_hits + counters.interning_misses),
+            4,
+        ),
+        "events_per_inst": round(counters.events_popped / max(1, insts), 3),
+    }
+
+
+def test_sim_hotpath_throughput():
+    rows = []
+    records = []
+    for name in KERNELS:
+        kernel = get_workload(name, scale=SCALE)
+        launch = _materialize(kernel.launches[0])
+        rec = {"kernel": name, "scale": SCALE, "launch_id": 0}
+        rec.update(bench_launch(launch))
+        records.append(rec)
+        rows.append((
+            name,
+            f"{rec['warp_insts']:,}",
+            f"{rec['reference_ips']:,}",
+            f"{rec['compact_ips']:,}",
+            f"{rec['speedup']:.2f}x",
+            f"{rec['segment_insts_pct']:.1f}%",
+        ))
+
+    payload = {
+        "method": (
+            "pre-materialized blocks, warm engines, interleaved reps, "
+            f"best of {REPS}; throughput = issued warp insts / best rep "
+            "seconds; results asserted bit-identical every rep"
+        ),
+        "reps": REPS,
+        "cpus": os.cpu_count(),
+        "kernels": records,
+        "best_speedup": max(r["speedup"] for r in records),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    emit(render_table(
+        ["kernel", "warp insts", "ref insts/s", "compact insts/s",
+         "speedup", "segment insts"],
+        rows,
+        title=f"Simulator hot-path throughput (scale={SCALE}, "
+              f"best of {REPS})",
+    ))
+    for rec in records:
+        assert rec["identical_results"]
+        assert rec["speedup"] > 1.0, (
+            f"{rec['kernel']}: compact engine slower than reference "
+            f"({rec['speedup']:.2f}x)"
+        )
+
+
+def test_sim_hotpath_smoke():
+    """CI perf smoke: one tiny kernel, compared against the checked-in
+    baseline *relative* throughput (compact vs in-process reference, so
+    the check holds on any machine); >30% drop fails."""
+    baseline = json.loads(SMOKE_BASELINE.read_text())
+    kernel = get_workload(baseline["kernel"], scale=baseline["scale"])
+    launch = _materialize(kernel.launches[0])
+    rec = bench_launch(launch, reps=max(REPS, 6))
+    emit(render_table(
+        ["metric", "value"],
+        [("kernel", baseline["kernel"]),
+         ("speedup now", f"{rec['speedup']:.3f}x"),
+         ("speedup baseline", f"{baseline['speedup']:.3f}x"),
+         ("floor", f"{baseline['speedup'] * (1 - SMOKE_TOLERANCE):.3f}x")],
+        title="Simulator hot-path smoke vs baseline",
+    ))
+    assert rec["identical_results"]
+    floor = baseline["speedup"] * (1 - SMOKE_TOLERANCE)
+    assert rec["speedup"] >= floor, (
+        f"hot-path regression: compact/reference speedup {rec['speedup']:.3f}x "
+        f"fell below {floor:.3f}x (baseline {baseline['speedup']:.3f}x "
+        f"- {SMOKE_TOLERANCE:.0%})"
+    )

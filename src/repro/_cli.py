@@ -260,6 +260,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"profile cache directory (default: $TBPOINT_CACHE_DIR or "
              f"{default_cache_dir()})",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the command under cProfile and print the hottest "
+             "functions (sorted by cumulative time) to stderr",
+    )
+    parser.add_argument(
+        "--profile-limit", type=int, default=30, metavar="N",
+        help="with --profile: how many stats rows to print (default 30)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="Table VI benchmark inventory")
@@ -296,10 +305,32 @@ _COMMANDS = {
 }
 
 
+def _run_profiled(command, args: argparse.Namespace) -> None:
+    """Run ``command`` under cProfile and dump the hottest functions to
+    stderr (stdout stays clean for the command's own tables)."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        command(args)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.strip_dirs().sort_stats("cumulative")
+        print(f"\n--- cProfile: top {args.profile_limit} by cumulative "
+              "time ---", file=sys.stderr)
+        stats.print_stats(args.profile_limit)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        _COMMANDS[args.command](args)
+        if args.profile:
+            _run_profiled(_COMMANDS[args.command], args)
+        else:
+            _COMMANDS[args.command](args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early; not an error.
         return 0

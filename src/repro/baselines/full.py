@@ -9,7 +9,7 @@ baselines operate on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.config import GPUConfig
 from repro.exec.engine import DEFAULT_EXECUTION, ExecutionConfig, parallel_map
@@ -26,6 +26,9 @@ class FullRunResult:
     launch_results: list[LaunchResult]
     units: list[UnitRecord]
     unit_insts: int | None
+    #: How the per-launch fan-out actually executed
+    #: (``path``/``workers``/``items``/``reason``, from ``parallel_map``).
+    exec_meta: dict = field(default_factory=dict)
 
     @property
     def total_warp_insts(self) -> int:
@@ -112,10 +115,15 @@ def run_full(
     exec_config = exec_config or DEFAULT_EXECUTION
 
     jobs = exec_config.effective_jobs
+    exec_meta: dict = {}
     if jobs > 1 and kernel.num_launches > 1:
         tasks = [(l, gpu, unit_insts, record_bbv) for l in kernel.launches]
-        outcomes = parallel_map(_full_launch_task, tasks, jobs)
+        outcomes = parallel_map(_full_launch_task, tasks, jobs, meta=exec_meta)
     else:
+        exec_meta.update(
+            path="serial", workers=1, items=kernel.num_launches,
+            reason=f"jobs={jobs}, {kernel.num_launches} launch(es)",
+        )
         simulator = simulator or GPUSimulator(gpu)
         outcomes = [
             _simulate_full_launch(
@@ -133,6 +141,7 @@ def run_full(
         launch_results=launch_results,
         units=units,
         unit_insts=unit_insts,
+        exec_meta=exec_meta,
     )
 
 

@@ -44,6 +44,9 @@ class TBPointResult:
     region_tables: dict[int, RegionTable] = field(default_factory=dict)
     rep_results: dict[int, LaunchResult] = field(default_factory=dict)
     samplers: dict[int, RegionSampler] = field(default_factory=dict)
+    #: How the representative-launch fan-out actually executed
+    #: (``path``/``workers``/``items``/``reason``, from ``parallel_map``).
+    exec_meta: dict = field(default_factory=dict)
 
     @property
     def overall_ipc(self) -> float:
@@ -179,13 +182,18 @@ def run_tbpoint(
     samplers: dict[int, RegionSampler] = {}
     sim_launches = plan.simulated_launches
     jobs = exec_config.effective_jobs
+    exec_meta: dict = {}
     if jobs > 1 and len(sim_launches) > 1:
         tasks = [
             (kernel.launches[lid], profile.launches[lid], gpu, sampling, use_intra)
             for lid in sim_launches
         ]
-        outcomes = parallel_map(_rep_launch_task, tasks, jobs)
+        outcomes = parallel_map(_rep_launch_task, tasks, jobs, meta=exec_meta)
     else:
+        exec_meta.update(
+            path="serial", workers=1, items=len(sim_launches),
+            reason=f"jobs={jobs}, {len(sim_launches)} launch(es)",
+        )
         simulator = simulator or GPUSimulator(gpu)
         outcomes = [
             simulate_representative(
@@ -213,6 +221,7 @@ def run_tbpoint(
         region_tables=region_tables,
         rep_results=rep_results,
         samplers=samplers,
+        exec_meta=exec_meta,
     )
 
 

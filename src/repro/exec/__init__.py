@@ -25,6 +25,7 @@ from repro.exec.cache import (
 )
 from repro.exec.engine import (
     DEFAULT_EXECUTION,
+    MIN_PARALLEL_ITEMS,
     ExecutionConfig,
     chunked,
     default_jobs,
@@ -34,6 +35,7 @@ from repro.exec.engine import (
 __all__ = [
     "ExecutionConfig",
     "DEFAULT_EXECUTION",
+    "MIN_PARALLEL_ITEMS",
     "default_jobs",
     "parallel_map",
     "chunked",

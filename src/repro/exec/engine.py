@@ -29,6 +29,11 @@ from typing import Callable, Iterable, Sequence, TypeVar
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Below this many items a process pool cannot amortize its spawn cost
+#: (interpreter start + module imports per worker dwarf a short task),
+#: so :func:`parallel_map` degrades to the serial path.
+MIN_PARALLEL_ITEMS = 4
+
 
 def default_jobs() -> int:
     """The default worker count: every available CPU."""
@@ -61,7 +66,12 @@ class ExecutionConfig:
 
     @property
     def effective_jobs(self) -> int:
-        return self.jobs if self.jobs > 0 else default_jobs()
+        """The worker count actually used: the requested ``jobs`` (or
+        all CPUs for 0), never more than the machine has — asking for 8
+        workers on a 1-CPU host just adds pool overhead (the 0.67x
+        "speedup" BENCH_exec.json recorded before this cap existed)."""
+        requested = self.jobs if self.jobs > 0 else default_jobs()
+        return min(requested, default_jobs())
 
     def serial(self) -> "ExecutionConfig":
         """A copy that runs in-process (used inside worker processes so
@@ -94,28 +104,53 @@ def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
     jobs: int,
+    meta: dict | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``items``, fanning out across processes.
 
     Results are returned in input order regardless of completion order,
-    which is what makes parallel merges deterministic.  Falls back to a
-    plain serial map when parallelism cannot help (``jobs <= 1`` or
-    fewer than two items) or cannot work (``fn``/items not picklable,
-    e.g. hand-built traces whose factories are closures).
+    which is what makes parallel merges deterministic.  Degrades to a
+    plain serial map whenever parallelism cannot help — effective jobs
+    ≤ 1 (including requests for more workers than the machine has CPUs),
+    fewer than :data:`MIN_PARALLEL_ITEMS` items — or cannot work
+    (``fn``/items not picklable, e.g. hand-built traces whose factories
+    are closures; pool spawn failure).  Serial and parallel paths are
+    bit-identical, so the degrade is invisible in results.
+
+    When ``meta`` is a dict it is filled in place with the execution
+    record: ``path`` ("serial" or "parallel"), ``workers``, ``items``,
+    and ``reason`` for taking the serial path (``None`` when parallel).
     """
     items = list(items)
-    if jobs <= 1 or len(items) < 2:
+    effective = min(jobs, default_jobs())
+    if meta is None:
+        meta = {}
+    meta.update(path="serial", workers=1, items=len(items), reason=None)
+    if effective <= 1:
+        meta["reason"] = (
+            f"effective jobs {effective} <= 1 "
+            f"(requested {jobs}, {default_jobs()} CPUs)"
+        )
+        return [fn(item) for item in items]
+    if len(items) < MIN_PARALLEL_ITEMS:
+        meta["reason"] = (
+            f"{len(items)} items < MIN_PARALLEL_ITEMS={MIN_PARALLEL_ITEMS}"
+        )
         return [fn(item) for item in items]
     if not (_is_picklable(fn) and all(_is_picklable(i) for i in items)):
+        meta["reason"] = "fn or items not picklable"
         return [fn(item) for item in items]
-    workers = min(jobs, len(items))
+    workers = min(effective, len(items))
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
+            results = list(pool.map(fn, items))
     except (OSError, RuntimeError):
         # Process pools may be unavailable (sandboxes, nested daemons);
         # the serial path is always correct, only slower.
+        meta["reason"] = "process pool unavailable"
         return [fn(item) for item in items]
+    meta.update(path="parallel", workers=workers)
+    return results
 
 
 def chunked(items: Iterable[T], size: int) -> list[list[T]]:
@@ -137,6 +172,7 @@ def chunked(items: Iterable[T], size: int) -> list[list[T]]:
 __all__ = [
     "ExecutionConfig",
     "DEFAULT_EXECUTION",
+    "MIN_PARALLEL_ITEMS",
     "default_jobs",
     "parallel_map",
     "chunked",

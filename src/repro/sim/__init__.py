@@ -15,7 +15,13 @@ the lifetime of a *specified* thread block (Section IV-B2).
 from repro.sim.caches import LRUCache
 from repro.sim.dram import DRAMModel
 from repro.sim.memory import MemoryHierarchy
-from repro.sim.gpu import GPUSimulator, LaunchResult, FixedUnitRecorder, UnitRecord
+from repro.sim.gpu import (
+    FixedUnitRecorder,
+    GPUSimulator,
+    LaunchResult,
+    SimCounters,
+    UnitRecord,
+)
 
 __all__ = [
     "LRUCache",
@@ -23,6 +29,7 @@ __all__ = [
     "MemoryHierarchy",
     "GPUSimulator",
     "LaunchResult",
+    "SimCounters",
     "FixedUnitRecorder",
     "UnitRecord",
 ]

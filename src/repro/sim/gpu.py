@@ -1,15 +1,39 @@
 """Event-driven multi-SM timing simulator.
 
 The engine keeps one global event heap of (cycle, sm) issue slots.
-Popping an event issues exactly one warp instruction on that SM — from
+Popping an event issues at least one warp instruction on that SM — from
 its earliest-ready resident warp — then reschedules the SM for
 ``max(cycle + 1, next warp ready)``.  Cost is therefore
 O(instructions x log) with idle cycles skipped by construction, per the
 HPC guideline of spending time only where work happens.
 
-Warp state is kept as plain Python lists (converted once per thread
-block from the numpy trace): the hot loop does single-element random
-access, where list indexing beats numpy scalar indexing by ~4x.
+Two engines share the same dispatch/retire/sampling machinery and are
+bit-identical by construction:
+
+* ``"reference"`` — the original per-instruction loop: one heap event,
+  one warp instruction.  Warp state is materialized as plain Python
+  lists, converted per thread block from the numpy trace.
+* ``"compact"`` (default) — the interned, segment-compacted hot path:
+
+  - **trace interning**: each unique warp trace (keyed by the identity
+    of its shared ``op``/``bb`` arrays) is converted to list form once
+    per simulator lifetime — relaunches reuse the tables — and the
+    immutable :class:`_TraceTable` is shared across every warp
+    executing that trace; only ``pc`` and the memory-operand slices
+    stay per-warp;
+  - **segment compaction**: per unique trace, run lengths of
+    consecutive non-memory instructions carry a prefix-sum of
+    issue-to-issue stall deltas, so one heap event can retire a whole
+    segment wherever that is provably timing-equivalent (bounded by the
+    SM's next-ready warp and — whenever shared state could observe the
+    difference — the next global event);
+  - **observability**: :class:`SimCounters` tallies events, heap
+    pushes, segment/interning/memory-fast-path hits and is attached to
+    the :class:`LaunchResult`.
+
+The timing-equivalence argument lives in DESIGN.md ("Simulator hot
+path"); ``tests/test_sim_compaction.py`` property-checks the two
+engines against each other.
 
 Sampling support (Section IV-B2):
 
@@ -27,7 +51,9 @@ Sampling support (Section IV-B2):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import bisect_left, insort
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
 from heapq import heappop, heappush
 
 import numpy as np
@@ -35,12 +61,124 @@ import numpy as np
 from repro.config import GPUConfig
 from repro.sim.memory import MemoryHierarchy
 from repro.sim.sampler_hooks import DispatchSampler
-from repro.trace import STALL_CYCLES, LaunchTrace
+from repro.trace import STALL_CYCLES, LaunchTrace, is_dram_op
 from repro.trace.blocktrace import BlockTrace
+
+_INF = float("inf")
+
+#: Upper bound on distinct interned traces kept per launch; launches in
+#: this reproduction have a handful of unique skeletons, so the cap only
+#: guards against pathological synthetic inputs.
+_INTERN_CACHE_MAX = 1024
+
+#: Below this many instructions a Python loop beats ``np.bincount`` for
+#: accumulating a segment's basic-block counts.
+_BINCOUNT_MIN = 24
+
+
+@dataclass
+class SimCounters:
+    """Hot-loop statistics of one ``run_launch`` call (compact engine).
+
+    Attached to :class:`LaunchResult.counters`; useful for verifying
+    that the fast paths actually engage on a given workload before
+    reading anything into a benchmark number.
+    """
+
+    events_popped: int = 0
+    heap_pushes: int = 0
+    segment_hits: int = 0
+    segment_insts: int = 0
+    interning_hits: int = 0
+    interning_misses: int = 0
+    mem_fast_hits: int = 0
+    rounds_sorted: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class _TraceTable:
+    """Immutable per-unique-trace data, shared by every warp running it.
+
+    ``cum[k]`` is the prefix sum of issue-to-issue deltas
+    ``max(stall, 1)``: within a run of non-memory instructions starting
+    at ``pc`` whose first issue happens at cycle ``t``, instruction
+    ``k`` issues at ``t + cum[k] - cum[pc]`` (the event-driven
+    recurrence ``T_k = max(T_{k-1} + 1, done_{k-1})`` collapses to it).
+    The deltas are only ever differenced between two indices of the
+    same non-memory run, so the values stored at memory positions are
+    irrelevant.
+
+    ``batchable`` is False when any non-memory instruction has a static
+    stall of 0 (possible only for degenerate unvalidated traces where a
+    DRAM op carries ``mem_req == 0``); such tables always take the
+    per-instruction path because the prefix sum would over-charge the
+    zero-stall instructions.
+    """
+
+    __slots__ = (
+        "n", "stall", "cum", "bb", "bb_np", "pos", "pos_np", "m",
+        "batchable", "_refs",
+    )
+
+    def __init__(self, op: np.ndarray, bb: np.ndarray, pos_np: np.ndarray):
+        stall_np = STALL_CYCLES[op]
+        n = len(op)
+        self.n = n
+        self.stall = stall_np.tolist()
+        self.pos_np = pos_np
+        self.pos = pos_np.tolist()
+        self.m = len(self.pos)
+        self.bb_np = bb
+        self.bb = bb.tolist()
+        cum = np.empty(n + 1, dtype=np.int64)
+        cum[0] = 0
+        np.cumsum(np.maximum(stall_np, 1), out=cum[1:])
+        self.cum = cum.tolist()
+        nonmem = np.ones(n, dtype=bool)
+        nonmem[pos_np] = False
+        self.batchable = bool((stall_np[nonmem] >= 1).all()) if n else True
+        # Keep the keyed arrays alive: the interning cache keys on
+        # id(op)/id(bb), which is only sound while those objects exist.
+        self._refs = (op, bb)
 
 
 class _WarpState:
-    """Mutable per-warp execution state (lists for fast scalar access)."""
+    """Cold per-warp state of the compact engine.
+
+    The hot loop works on mutable *pool entries* — plain lists
+    ``[ready, seq, warp, pc, stall, next_mem_pc, n, mi]`` that sort by
+    ``(ready, seq)`` and are reused across re-queues (no per-issue tuple
+    allocation).  This object carries everything the entry does not:
+    shared :class:`_TraceTable` fields aliased by pointer copy, the
+    per-warp memory operands gathered at the trace's memory positions
+    (O(m) instead of O(5n) list conversion per dispatch), and the
+    owning thread block.
+    """
+
+    __slots__ = (
+        "n", "m", "stall", "cum", "pos", "bb", "bb_np",
+        "batchable", "mreq", "maddr", "mspread", "tb",
+    )
+
+    def __init__(self, tbl: _TraceTable, mreq, maddr, mspread, tb: "_TBState"):
+        self.n = tbl.n
+        self.m = tbl.m
+        self.stall = tbl.stall
+        self.cum = tbl.cum
+        self.pos = tbl.pos
+        self.bb = tbl.bb
+        self.bb_np = tbl.bb_np
+        self.batchable = tbl.batchable
+        self.mreq = mreq
+        self.maddr = maddr
+        self.mspread = mspread
+        self.tb = tb
+
+
+class _LegacyWarpState:
+    """Per-warp state of the reference engine: full per-warp lists."""
 
     __slots__ = ("pc", "n", "stall", "memreq", "addr", "spread", "bb", "tb")
 
@@ -167,6 +305,7 @@ class LaunchResult:
     skipped_warp_insts: int = 0
     extra_cycles: float = 0.0
     mem_stats: dict = field(default_factory=dict)
+    counters: SimCounters | None = None
 
     @property
     def machine_ipc(self) -> float:
@@ -208,11 +347,31 @@ class LaunchResult:
 
 
 class GPUSimulator:
-    """Trace-driven, event-driven multi-SM GPU timing simulator."""
+    """Trace-driven, event-driven multi-SM GPU timing simulator.
 
-    def __init__(self, config: GPUConfig | None = None):
+    ``engine`` selects the hot-loop implementation: ``"compact"`` (the
+    default interned/segment-compacted path) or ``"reference"`` (the
+    original per-instruction loop).  Both produce bit-identical
+    :class:`LaunchResult`\\ s; the reference engine exists as the
+    equivalence oracle and sets ``counters`` to ``None``.
+    """
+
+    ENGINES = ("compact", "reference")
+
+    def __init__(self, config: GPUConfig | None = None, engine: str = "compact"):
+        if engine not in self.ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {self.ENGINES}")
         self.config = config or GPUConfig()
+        self.engine = engine
         self.mem = MemoryHierarchy(self.config)
+        # Simulator-lifetime trace interning (compact engine): tables
+        # survive across run_launch calls, so re-simulating a launch —
+        # or simulating the near-identical relaunches TBPoint's
+        # inter-launch homogeneity premise expects — skips conversion
+        # entirely.  Keyed by (id(op), id(bb)); each entry holds the op
+        # array itself (bb is held by the table), so a live entry pins
+        # its arrays and the ids cannot be recycled into stale hits.
+        self._intern_cache: OrderedDict = OrderedDict()
 
     def run_launch(
         self,
@@ -220,6 +379,7 @@ class GPUSimulator:
         sampler: DispatchSampler | None = None,
         recorder: FixedUnitRecorder | None = None,
         reset_memory: bool = True,
+        engine: str | None = None,
     ) -> LaunchResult:
         """Simulate one kernel launch.
 
@@ -237,7 +397,900 @@ class GPUSimulator:
             Invalidate caches and DRAM bank state first, making every
             launch's timing independent of simulation order (required
             for representative-launch sampling to be meaningful).
+        engine:
+            Per-call engine override (``"compact"`` / ``"reference"``).
         """
+        engine = engine or self.engine
+        if engine == "reference":
+            return self._run_launch_reference(launch, sampler, recorder, reset_memory)
+        if engine != "compact":
+            raise ValueError(f"unknown engine {engine!r}; choose from {self.ENGINES}")
+        return self._run_launch_compact(launch, sampler, recorder, reset_memory)
+
+    # ------------------------------------------------------------------
+    # Compact engine: interned traces + segment-compacted issue loop.
+    # ------------------------------------------------------------------
+
+    def _run_launch_compact(
+        self,
+        launch: LaunchTrace,
+        sampler: DispatchSampler | None,
+        recorder: FixedUnitRecorder | None,
+        reset_memory: bool,
+    ) -> LaunchResult:
+        cfg = self.config
+        if reset_memory:
+            self.mem.reset()
+        num_sms = cfg.num_sms
+        occ = cfg.sm_occupancy(launch.warps_per_block)
+        num_blocks = launch.num_blocks
+
+        # Per-SM warp pool, replacing a binary heap with a *round*
+        # structure: ``rnds[si]`` is a sorted list consumed in order
+        # through cursor ``ris[si]``; re-queued / newly dispatched
+        # entries collect unsorted in ``nxts[si]`` with their minimum
+        # ready time tracked in ``nxtmins[si]``.  The sorted head is the
+        # pool minimum unless an entry in ``nxts`` ties or beats it
+        # (``nxtmin <= head.ready``), in which case the two are merged
+        # and re-sorted — so extraction order equals heap order, at one
+        # C-level sort per round instead of two heap operations per
+        # instruction.  Entries are mutable lists
+        # ``[ready, seq, warp, pc, stall, stop_pc, n, mi]`` reused
+        # across re-queues; ``seq`` is globally unique, so comparisons
+        # never reach the warp object.  ``stop_pc`` is the next pc that
+        # needs special handling — the warp's next memory instruction or
+        # its final instruction, whichever comes first — so the hot loop
+        # pays one comparison for both cases.
+        rnds: list[list] = [[] for _ in range(num_sms)]
+        ris = [0] * num_sms
+        nxts: list[list] = [[] for _ in range(num_sms)]
+        nxtmins = [_INF] * num_sms
+        resident = [0] * num_sms
+        per_sm_issued = [0] * num_sms
+        per_sm_last = [-1] * num_sms
+
+        # Dispatch bookkeeping (mutated by closures below).
+        next_tb = 0
+        dispatch_free = 0  # the global scheduler issues one block at a time
+        seq_counter = 0
+        specified_tb = -1
+        unit_t0 = 0
+        unit_i0 = 0
+        issued = 0
+
+        get_block = launch.block
+        has_sampler = sampler is not None
+
+        # Trace interning: unique warp traces are keyed by the identity
+        # of their (op, bb) arrays — shared across blocks by the
+        # workload generator's skeleton cache — and converted to table
+        # form exactly once per *simulator* (the cache lives on the
+        # instance, so relaunches of the same trace skip conversion).
+        # Entries are (op, table) pairs: the op reference (plus the
+        # bb the table holds) pins the arrays, keeping their ids valid
+        # for the cache's whole lifetime.
+        intern_cache = self._intern_cache
+        intern_hits = 0
+        intern_misses = 0
+
+        def make_warp(wt, tbst: _TBState) -> _WarpState:
+            nonlocal intern_hits, intern_misses
+            op = wt.op
+            bb = wt.bb
+            key = (id(op), id(bb))
+            ent = intern_cache.get(key)
+            if ent is None:
+                intern_misses += 1
+                tbl = _TraceTable(op, bb, np.flatnonzero(is_dram_op(op)))
+                intern_cache[key] = (op, tbl)
+                if len(intern_cache) > _INTERN_CACHE_MAX:
+                    intern_cache.popitem(last=False)
+            else:
+                intern_hits += 1
+                tbl = ent[1]
+                intern_cache.move_to_end(key)
+            mem_req = wt.mem_req
+            # The table's memory positions assume every DRAM op carries
+            # transactions.  Unvalidated traces may violate that (a
+            # DRAM op with mem_req == 0 stalls statically for 0 cycles);
+            # give such warps a private table keyed on actual requests.
+            actual = np.flatnonzero(mem_req)
+            if not np.array_equal(actual, tbl.pos_np):
+                tbl = _TraceTable(op, bb, actual)
+            if tbl.m:
+                pos_np = tbl.pos_np
+                mreq = mem_req[pos_np].tolist()
+                maddr = wt.addr[pos_np].tolist()
+                mspread = wt.spread[pos_np].tolist()
+            else:
+                mreq = maddr = mspread = ()
+            return _WarpState(tbl, mreq, maddr, mspread, tbst)
+
+        def make_block(block: BlockTrace, tbst: _TBState) -> list[_WarpState]:
+            """Build all warp states of one thread block at once.
+
+            The block's warps share one skeleton (identical ``op``/``bb``
+            arrays) in every generated workload, so the memory operands
+            of all warps can be gathered with three block-level fancy
+            indexes instead of three per warp, and the degenerate-trace
+            check collapses to two reductions.  Blocks that violate the
+            shared-skeleton assumption (or carry degenerate traces) fall
+            back to the per-warp path.
+            """
+            nonlocal intern_hits, intern_misses
+            warps = block.warps
+            wt0 = warps[0]
+            op = wt0.op
+            bb = wt0.bb
+            for wt in warps:
+                if wt.op is not op or wt.bb is not bb:
+                    return [make_warp(wt, tbst) for wt in warps]
+            nw = len(warps)
+            key = (id(op), id(bb))
+            ent = intern_cache.get(key)
+            fresh = ent is None
+            if fresh:
+                tbl = _TraceTable(op, bb, np.flatnonzero(is_dram_op(op)))
+                intern_cache[key] = (op, tbl)
+                if len(intern_cache) > _INTERN_CACHE_MAX:
+                    intern_cache.popitem(last=False)
+            else:
+                tbl = ent[1]
+                intern_cache.move_to_end(key)
+            m = tbl.m
+            if m:
+                mr = np.array([wt.mem_req for wt in warps])
+                sub = mr[:, tbl.pos_np]
+                # Exact equivalent of the per-warp flatnonzero check:
+                # every tabled position carries requests and no requests
+                # exist elsewhere <=> nonzero(row) == pos for every row.
+                if not (sub.all() and np.count_nonzero(mr) == nw * m):
+                    return [make_warp(wt, tbst) for wt in warps]
+                mreqs = sub.tolist()
+                pos_np = tbl.pos_np
+                maddrs = np.array([wt.addr for wt in warps])[:, pos_np].tolist()
+                mspreads = np.array(
+                    [wt.spread for wt in warps]
+                )[:, pos_np].tolist()
+                out = [
+                    _WarpState(tbl, mreqs[i], maddrs[i], mspreads[i], tbst)
+                    for i in range(nw)
+                ]
+            else:
+                if np.array([wt.mem_req for wt in warps]).any():
+                    return [make_warp(wt, tbst) for wt in warps]
+                out = [_WarpState(tbl, (), (), (), tbst) for _ in range(nw)]
+            if fresh:
+                intern_misses += 1
+                intern_hits += nw - 1
+            else:
+                intern_hits += nw
+            return out
+
+        def dispatch_to(si: int, now: int) -> bool:
+            """Dispatch the next non-skipped thread block to SM ``si``;
+            return False when the launch is exhausted."""
+            nonlocal next_tb, dispatch_free, seq_counter
+            nonlocal specified_tb, unit_t0, unit_i0
+            while next_tb < num_blocks:
+                tb_id = next_tb
+                next_tb += 1
+                if has_sampler and not sampler.on_dispatch(tb_id, now, issued):
+                    continue  # fast-forwarded; sampler did the accounting
+                # The global scheduler issues one block every few cycles,
+                # and each block's warps launch back to back: dispatch is
+                # serialized, which also keeps warps from running
+                # phase-locked (as they would if everything started at
+                # cycle 0 of the initial fill).
+                start = dispatch_free if dispatch_free > now else now
+                dispatch_free = start + 4
+                block: BlockTrace = get_block(tb_id)
+                tbst = _TBState(tb_id, len(block.warps))
+                nxt = nxts[si]
+                nm = nxtmins[si]
+                r0 = start
+                for w in make_block(block, tbst):
+                    nxt.append([
+                        r0, seq_counter, w, 0, w.stall,
+                        w.pos[0] if w.m else w.n - 1, w.n, 0,
+                    ])
+                    seq_counter += 1
+                    if r0 < nm:
+                        nm = r0
+                    r0 += 2
+                nxtmins[si] = nm
+                resident[si] += 1
+                if has_sampler and specified_tb < 0:
+                    specified_tb = tb_id
+                    unit_t0 = now
+                    unit_i0 = issued
+                    sampler.on_unit_start(now)
+                return True
+            return False
+
+        def retire_tb(tb: _TBState, si: int, now: int) -> None:
+            nonlocal specified_tb
+            resident[si] -= 1
+            if has_sampler:
+                if tb.tb_id == specified_tb:
+                    specified_tb = -1
+                    sampler.on_unit_complete(
+                        issued - unit_i0, max(1, now - unit_t0), now, issued
+                    )
+                sampler.on_retire(tb.tb_id, now, issued)
+            while resident[si] < occ:
+                if not dispatch_to(si, now):
+                    break
+
+        # Initial greedy fill: thread blocks go to SMs round-robin.
+        for _slot in range(occ):
+            for si in range(num_sms):
+                if not dispatch_to(si, 0):
+                    break
+
+        event_heap: list = [(0, si) for si in range(num_sms) if nxts[si]]
+
+        # Hot-loop local bindings.
+        mem_load = self.mem.load_multi
+        mem_load1 = self.mem.load1
+        pop, push = heappop, heappush
+        bisect = bisect_left
+        lrr = cfg.scheduler == "lrr"
+        rec = recorder
+        rec_on = rec is not None
+        if rec_on:
+            rec_bbv = rec.cur_bbv
+            rec_left = rec.unit_insts
+            rec_nbb = rec.num_bbs
+        # Without hooks, non-memory instructions of the SM's sole
+        # ready warp touch only private state, so segments may run past
+        # the next *global* event; with a sampler or recorder observing
+        # the global instruction order, every batch must stay strictly
+        # before it.  Memory ops and trace-ending retires always must
+        # (shared caches / DRAM / dispatch bookkeeping).
+        no_hooks = not has_sampler and not rec_on
+        wall = 0
+
+        # Counter locals (folded into SimCounters at the end).
+        n_events = 0
+        n_pushes = 0
+        n_seg_hits = 0
+        n_seg_insts = 0
+        n_mem_fast = 0
+        n_rounds = 0
+
+        # One global event per SM *window*, not per instruction.  Warps
+        # on one SM interact with the rest of the machine only through
+        # (a) memory instructions (shared L2/DRAM state and its
+        # access-order-dependent timing), (b) thread-block retirement
+        # (global dispatch bookkeeping), and (c) sampler/recorder hooks
+        # (which observe the global instruction order).  Everything else
+        # is private to the SM, so a window simulates the SM's own warp
+        # pool in a tight local loop and only defers back to the global
+        # heap when one of those *barrier* instructions would run at or
+        # past the next global event.
+        barrier_all = not no_hooks
+
+        # ---- specialized window loop: no hooks, default scheduler ----
+        # The common experiment configuration (no sampler, no recorder,
+        # "oldest" scheduling) gets a copy of the window loop with every
+        # per-instruction conditional that is constant in that mode
+        # removed: no hook accounting, no lrr sequence renumbering, and
+        # the issued/busy-cycle tallies accumulate in window-local
+        # variables flushed at window end instead of per instruction.
+        # The window-entry exemption ("first") collapses to a predicate
+        # over those locals evaluated only at barrier instructions.  It
+        # drains the event heap completely, so the general loop below is
+        # skipped; results are bit-identical to both the general loop
+        # and the reference engine.
+        if no_hooks and not lrr:
+            sats = [0] * num_sms
+            while event_heap:
+                n_events += 1
+                t, si = pop(event_heap)
+                rnd = rnds[si]
+                ri = ris[si]
+                rlen = len(rnd)
+                nxt = nxts[si]
+                napp = nxt.append
+                nxtmin = nxtmins[si]
+                wi = 0
+                wlast = -1
+                # Barriers defer when another SM's event precedes this
+                # window's issue slot in (cycle, sm) order.  The heap
+                # only changes at defers, so the threshold is a window
+                # constant: defer exactly when t >= hbar.  At window
+                # start t < hbar always holds (this event was the heap
+                # minimum), which is what used to be the explicit
+                # first-instruction exemption.
+                if event_heap:
+                    h = event_heap[0]
+                    hbar = h[0] if h[1] < si else h[0] + 1
+                else:
+                    hbar = _INF
+                # Saturated-prefix bound: every round entry with ready
+                # time r < min(nxtmin, t + 1) at the time the bound was
+                # computed can be issued by the tight loop below with no
+                # merge / idle / batch checks at all.  Requeues always
+                # re-arrive at t + 1 or later (stalls of batchable
+                # traces are >= 1, memory completions and fresh
+                # dispatches land at >= t + 1), so nothing can preempt
+                # those entries, their ready times are already past,
+                # and the entry after each of them is ready too —
+                # meaning a segment batch could never trigger either.
+                # The last prefix entry is excluded (its successor may
+                # be idle, so it may batch) and handled by the full
+                # path.  ``satm1`` is that exclusive tight-loop limit,
+                # persisted per SM across windows (t only grows, so a
+                # stale bound is merely conservative); a stall-0
+                # requeue (degenerate traces) invalidates it.
+                satm1 = sats[si]
+                if satm1 <= ri and ri < rlen:
+                    # Refresh the stale bound: if even the last round
+                    # entry is ready and unpreemptable the whole rest of
+                    # the round is prefix (the common saturated case);
+                    # otherwise locate the boundary, but only when the
+                    # remainder is long enough to repay the bisect.
+                    lr = rnd[rlen - 1][0]
+                    if lr <= t and lr < nxtmin:
+                        satm1 = rlen - 1
+                    elif rlen - ri >= 8:
+                        b = t + 1
+                        if nxtmin < b:
+                            b = nxtmin
+                        satm1 = bisect(rnd, [b], ri, rlen) - 1
+                while True:  # issue slots within this SM's window
+                    if ri == rlen:
+                        if not nxt:
+                            break  # SM drained
+                        rnd = sorted(nxt)
+                        nxt.clear()
+                        rnds[si] = rnd
+                        ri = 0
+                        rlen = len(rnd)
+                        nxtmin = _INF
+                        n_rounds += 1
+                        if rnd[rlen - 1][0] <= t:
+                            satm1 = rlen - 1
+                        elif rlen >= 8:
+                            satm1 = bisect(rnd, [t + 1], 0, rlen) - 1
+                        else:
+                            satm1 = 0
+                    if ri < satm1:
+                        # ---- tight loop over the saturated prefix ----
+                        t0w = t
+                        e = rnd[ri]
+                        pc = e[3]
+                        while True:
+                            if pc == e[5]:
+                                # Stop: a memory op is inlined here (its
+                                # requeue lands at >= t + 1, keeping the
+                                # prefix invariant); a final instruction
+                                # or a due defer exits to the full path.
+                                w = e[2]
+                                mi = e[7]
+                                if mi >= w.m or w.pos[mi] != pc:
+                                    break
+                                if t >= hbar:
+                                    break
+                                ri += 1
+                                mr = w.mreq[mi]
+                                if mr == 1:
+                                    done = mem_load1(si, w.maddr[mi], t)
+                                    n_mem_fast += 1
+                                else:
+                                    done = mem_load(
+                                        si, w.maddr[mi], w.mspread[mi],
+                                        mr, t,
+                                    )
+                                mi += 1
+                                e[7] = mi
+                                pc += 1
+                                if pc < e[6]:
+                                    e[3] = pc
+                                    e[5] = (
+                                        w.pos[mi] if mi < w.m else e[6] - 1
+                                    )
+                                    e[0] = done
+                                    napp(e)
+                                    if done < nxtmin:
+                                        nxtmin = done
+                                        if done <= t:
+                                            satm1 = 0
+                                            t += 1
+                                            break
+                                else:
+                                    tb = w.tb
+                                    tb.live -= 1
+                                    if tb.live == 0:
+                                        nxtmins[si] = nxtmin
+                                        retire_tb(tb, si, t + 1)
+                                        nxtmin = nxtmins[si]
+                                t += 1
+                                if ri == satm1:
+                                    # Try to extend the prefix past the
+                                    # stale boundary before giving up.
+                                    b = t + 1
+                                    if nxtmin < b:
+                                        b = nxtmin
+                                    satm1 = bisect(rnd, [b], ri, rlen) - 1
+                                    if ri >= satm1:
+                                        break
+                                e = rnd[ri]
+                                pc = e[3]
+                                continue
+                            done = t + e[4][pc]
+                            e[3] = pc + 1
+                            e[0] = done
+                            napp(e)
+                            if done < nxtmin:
+                                nxtmin = done
+                                if done <= t:
+                                    # Stall-0 requeue: the no-preempt
+                                    # invariant is gone; bail to the
+                                    # fully-checked path.
+                                    satm1 = 0
+                                    t += 1
+                                    ri += 1
+                                    break
+                            t += 1
+                            ri += 1
+                            if ri == satm1:
+                                b = t + 1
+                                if nxtmin < b:
+                                    b = nxtmin
+                                satm1 = bisect(rnd, [b], ri, rlen) - 1
+                                if ri >= satm1:
+                                    break
+                            e = rnd[ri]
+                            pc = e[3]
+                        wi += t - t0w
+                    e = rnd[ri]
+                    if nxtmin <= e[0]:
+                        # nxtmin is exact and _INF when nxt is empty, so
+                        # this single compare is the full merge test.  A
+                        # handful of requeues slotting into a long round
+                        # tail is the common case on memory-heavy traces
+                        # (every DRAM return preempts the round), so
+                        # small batches are insorted in place instead of
+                        # re-sorting the whole remainder.
+                        if len(nxt) * 4 < rlen - ri:
+                            for x in nxt:
+                                insort(rnd, x, ri, rlen)
+                                rlen += 1
+                            nxt.clear()
+                            nxtmin = _INF
+                            n_rounds += 1
+                            if rnd[rlen - 1][0] <= t:
+                                satm1 = rlen - 1
+                            elif rlen - ri >= 8:
+                                satm1 = bisect(rnd, [t + 1], ri, rlen) - 1
+                            else:
+                                satm1 = 0
+                            e = rnd[ri]
+                        else:
+                            rnd = sorted(rnd[ri:] + nxt)
+                            nxt.clear()
+                            rnds[si] = rnd
+                            ri = 0
+                            rlen = len(rnd)
+                            nxtmin = _INF
+                            n_rounds += 1
+                            if rnd[rlen - 1][0] <= t:
+                                satm1 = rlen - 1
+                            elif rlen >= 8:
+                                satm1 = bisect(rnd, [t + 1], 0, rlen) - 1
+                            else:
+                                satm1 = 0
+                            e = rnd[0]
+                    r = e[0]
+                    if r > t:
+                        # Idle skip: flush the contiguous issue streak
+                        # (its last cycle is t - 1).
+                        if wi:
+                            issued += wi
+                            per_sm_issued[si] += wi
+                            wlast = t - 1
+                            wi = 0
+                        t = r
+                        # The jump forward may saturate more entries
+                        # (merge test above guarantees nxtmin > t here).
+                        lr = rnd[rlen - 1][0]
+                        if lr <= t and lr < nxtmin:
+                            satm1 = rlen - 1
+                        elif rlen - ri >= 8:
+                            satm1 = bisect(rnd, [t + 1], ri, rlen) - 1
+                        else:
+                            satm1 = 0
+                    pc = e[3]
+                    if pc == e[5]:
+                        # ---- stop: next memory op or trace end -------
+                        w = e[2]
+                        mi = e[7]
+                        if mi < w.m and w.pos[mi] == pc:
+                            # Memory instruction (always a barrier).
+                            if t >= hbar:
+                                push(event_heap, (t, si))
+                                n_pushes += 1
+                                break
+                            ri += 1
+                            mr = w.mreq[mi]
+                            if mr == 1:
+                                done = mem_load1(si, w.maddr[mi], t)
+                                n_mem_fast += 1
+                            else:
+                                done = mem_load(
+                                    si, w.maddr[mi], w.mspread[mi], mr, t
+                                )
+                            mi += 1
+                            e[7] = mi
+                            wi += 1
+                            pc += 1
+                            if pc < e[6]:
+                                e[3] = pc
+                                e[5] = w.pos[mi] if mi < w.m else e[6] - 1
+                                e[0] = done
+                                napp(e)
+                                if done < nxtmin:
+                                    nxtmin = done
+                                    if done <= t:
+                                        satm1 = 0
+                            else:
+                                tb = w.tb
+                                tb.live -= 1
+                                if tb.live == 0:
+                                    nxtmins[si] = nxtmin
+                                    retire_tb(tb, si, t + 1)
+                                    nxtmin = nxtmins[si]
+                            t += 1
+                            continue
+                        # Final (non-memory) instruction; a barrier only
+                        # when it retires the block's last live warp.
+                        tb = w.tb
+                        if tb.live == 1 and t >= hbar:
+                            push(event_heap, (t, si))
+                            n_pushes += 1
+                            break
+                        ri += 1
+                        wi += 1
+                        tb.live -= 1
+                        if tb.live == 0:
+                            nxtmins[si] = nxtmin
+                            retire_tb(tb, si, t + 1)
+                            nxtmin = nxtmins[si]
+                        t += 1
+                        continue
+                    # ---- non-memory, non-final instruction -----------
+                    done = t + e[4][pc]
+                    ri += 1
+                    if ri < rlen:
+                        bound = rnd[ri][0]
+                        if nxtmin < bound:
+                            bound = nxtmin
+                    else:
+                        bound = nxtmin  # _INF when nothing is queued
+                    if done < bound:
+                        w = e[2]
+                        if w.batchable:
+                            cum = w.cum
+                            limit = e[5]
+                            base = cum[pc]
+                            idx = pc + 1
+                            if idx < limit:
+                                idx = bisect(
+                                    cum, base + bound - t, idx + 1, limit
+                                )
+                            u = idx - pc
+                            if u >= 2:
+                                n_seg_hits += 1
+                                n_seg_insts += u
+                                done = t + cum[idx] - base
+                                e[3] = idx
+                                e[0] = done
+                                napp(e)
+                                if done < nxtmin:
+                                    nxtmin = done
+                                wi += u
+                                t = t + cum[idx - 1] - base + 1
+                                continue
+                    e[3] = pc + 1
+                    e[0] = done
+                    napp(e)
+                    if done < nxtmin:
+                        nxtmin = done
+                        if done <= t:
+                            satm1 = 0
+                    wi += 1
+                    t += 1
+
+                ris[si] = ri
+                nxtmins[si] = nxtmin
+                sats[si] = satm1
+                if wi:
+                    issued += wi
+                    per_sm_issued[si] += wi
+                    wlast = t - 1
+                if wlast >= 0:
+                    per_sm_last[si] = wlast
+                    if wlast > wall:
+                        wall = wlast
+
+        while event_heap:
+            n_events += 1
+            t, si = pop(event_heap)
+            rnd = rnds[si]
+            ri = ris[si]
+            rlen = len(rnd)
+            nxt = nxts[si]
+            nxtmin = nxtmins[si]
+            first = True
+            last_t = -1
+            while True:  # issue slots within this SM's window
+                # ---- extract the pool minimum ------------------------
+                if ri == rlen:
+                    if not nxt:
+                        break  # SM drained; nothing left to schedule
+                    rnd = sorted(nxt)
+                    nxt.clear()
+                    rnds[si] = rnd
+                    ri = 0
+                    rlen = len(rnd)
+                    nxtmin = _INF
+                    n_rounds += 1
+                e = rnd[ri]
+                if nxt and nxtmin <= e[0]:
+                    # A re-queued entry ties or beats the sorted head:
+                    # merge so (ready, seq) order is preserved exactly.
+                    rnd = sorted(rnd[ri:] + nxt)
+                    nxt.clear()
+                    rnds[si] = rnd
+                    ri = 0
+                    rlen = len(rnd)
+                    nxtmin = _INF
+                    n_rounds += 1
+                    e = rnd[0]
+                r = e[0]
+                if r > t:
+                    # Idle skip within the SM: the next slot time moved;
+                    # it no longer holds the priority the popped event
+                    # had, so barriers must be re-validated.
+                    t = r
+                    first = False
+                pc = e[3]
+                if pc == e[5]:
+                    # ---- stop instruction: next memory op or trace end
+                    w = e[2]
+                    mi = e[7]
+                    if mi < w.m and w.pos[mi] == pc:
+                        # Memory instruction (always a barrier).
+                        if not first:
+                            eh = event_heap
+                            if eh and eh[0][0] <= t:
+                                # Would run at/past the next global
+                                # event: leave the entry unconsumed and
+                                # let global order decide (ties break on
+                                # SM id, as the reference heap does).
+                                push(eh, (t, si))
+                                n_pushes += 1
+                                break
+                        first = False
+                        ri += 1
+                        mr = w.mreq[mi]
+                        if mr == 1:
+                            done = mem_load1(si, w.maddr[mi], t)
+                            n_mem_fast += 1
+                        else:
+                            done = mem_load(
+                                si, w.maddr[mi], w.mspread[mi], mr, t
+                            )
+                        mi += 1
+                        e[7] = mi
+                        issued += 1
+                        per_sm_issued[si] += 1
+                        last_t = t
+                        if rec_on:
+                            rec_bbv[w.bb[pc]] += 1
+                            rec_left -= 1
+                            if rec_left == 0:
+                                rec.flush(t + 1, rec.unit_insts)
+                                rec_bbv = rec.cur_bbv
+                                rec_left = rec.unit_insts
+                        pc += 1
+                        if pc < e[6]:
+                            e[3] = pc
+                            e[5] = w.pos[mi] if mi < w.m else e[6] - 1
+                            if lrr:
+                                e[1] = seq_counter
+                                seq_counter += 1
+                            e[0] = done
+                            nxt.append(e)
+                            if done < nxtmin:
+                                nxtmin = done
+                        else:
+                            tb = w.tb
+                            tb.live -= 1
+                            if tb.live == 0:
+                                nxtmins[si] = nxtmin
+                                retire_tb(tb, si, t + 1)
+                                nxtmin = nxtmins[si]
+                        t += 1
+                        continue
+                    # Final (non-memory) instruction: retiring the
+                    # block's last live warp mutates global dispatch
+                    # state (a barrier).
+                    tb = w.tb
+                    if (barrier_all or tb.live == 1) and not first:
+                        eh = event_heap
+                        if eh and eh[0][0] <= t:
+                            push(eh, (t, si))
+                            n_pushes += 1
+                            break
+                    first = False
+                    ri += 1
+                    issued += 1
+                    per_sm_issued[si] += 1
+                    last_t = t
+                    if rec_on:
+                        rec_bbv[w.bb[pc]] += 1
+                        rec_left -= 1
+                        if rec_left == 0:
+                            rec.flush(t + 1, rec.unit_insts)
+                            rec_bbv = rec.cur_bbv
+                            rec_left = rec.unit_insts
+                    tb.live -= 1
+                    if tb.live == 0:
+                        nxtmins[si] = nxtmin
+                        retire_tb(tb, si, t + 1)
+                        nxtmin = nxtmins[si]
+                    t += 1
+                    continue
+                # ---- non-memory, non-final instruction ---------------
+                if barrier_all and not first:
+                    eh = event_heap
+                    if eh and eh[0][0] <= t:
+                        push(eh, (t, si))
+                        n_pushes += 1
+                        break
+                done = t + e[4][pc]
+                pc1 = pc + 1
+                first = False
+                ri += 1
+                # Segment extension: bounded by the SM's next-ready
+                # entry — minimum over both pool halves — and, when
+                # hooks observe the global order, the next global event.
+                if ri < rlen:
+                    bound = rnd[ri][0]
+                    if nxtmin < bound:
+                        bound = nxtmin
+                else:
+                    bound = nxtmin  # _INF when nothing is queued
+                if barrier_all and event_heap:
+                    e2 = event_heap[0][0]
+                    if e2 < bound:
+                        bound = e2
+                if done < bound:
+                    w = e[2]
+                    if w.batchable:
+                        cum = w.cum
+                        # The stop pc caps the batch: memory ops and the
+                        # final instruction always take their own slot
+                        # (they are barriers with their own defer rules).
+                        limit = e[5]
+                        base = cum[pc]
+                        idx = pc1
+                        if idx < limit:
+                            idx = bisect(cum, base + bound - t, idx + 1, limit)
+                        u = idx - pc
+                        if u >= 2:
+                            n_seg_hits += 1
+                            n_seg_insts += u
+                            last_t = t + cum[idx - 1] - base
+                            done = t + cum[idx] - base
+                            issued += u
+                            per_sm_issued[si] += u
+                            if rec_on:
+                                bb = w.bb
+                                j = pc
+                                while j < idx:
+                                    take = idx - j
+                                    if take > rec_left:
+                                        take = rec_left
+                                    if take < _BINCOUNT_MIN:
+                                        for b in bb[j:j + take]:
+                                            rec_bbv[b] += 1
+                                    else:
+                                        rec_bbv += np.bincount(
+                                            w.bb_np[j:j + take],
+                                            minlength=rec_nbb,
+                                        )
+                                    rec_left -= take
+                                    j += take
+                                    if rec_left == 0:
+                                        rec.flush(t + cum[j - 1] - base + 1,
+                                                  rec.unit_insts)
+                                        rec_bbv = rec.cur_bbv
+                                        rec_left = rec.unit_insts
+                            if lrr:
+                                # One fresh sequence number per notional
+                                # re-queue within the batch.
+                                seq_counter += u
+                                e[1] = seq_counter - 1
+                            e[3] = idx
+                            e[0] = done
+                            nxt.append(e)
+                            if done < nxtmin:
+                                nxtmin = done
+                            t = last_t + 1
+                            continue
+                # Single non-final issue (covers degenerate zero-stall
+                # traces, whose raw ``done = t + stall`` is exact).
+                issued += 1
+                per_sm_issued[si] += 1
+                last_t = t
+                if rec_on:
+                    rec_bbv[e[2].bb[pc]] += 1
+                    rec_left -= 1
+                    if rec_left == 0:
+                        rec.flush(t + 1, rec.unit_insts)
+                        rec_bbv = rec.cur_bbv
+                        rec_left = rec.unit_insts
+                e[3] = pc1
+                if lrr:
+                    e[1] = seq_counter
+                    seq_counter += 1
+                e[0] = done
+                nxt.append(e)
+                if done < nxtmin:
+                    nxtmin = done
+                t += 1
+
+            ris[si] = ri
+            nxtmins[si] = nxtmin
+            if last_t >= 0:
+                per_sm_last[si] = last_t
+                if last_t > wall:
+                    wall = last_t
+
+        wall += 1  # the last issue occupies its cycle
+        if has_sampler:
+            sampler.finalize(wall, issued)
+        if rec_on:
+            rec.finalize(wall, rec.unit_insts - rec_left)
+
+        counters = SimCounters(
+            events_popped=n_events,
+            heap_pushes=n_pushes,
+            segment_hits=n_seg_hits,
+            segment_insts=n_seg_insts,
+            interning_hits=intern_hits,
+            interning_misses=intern_misses,
+            mem_fast_hits=n_mem_fast,
+            rounds_sorted=n_rounds,
+        )
+        return LaunchResult(
+            launch_id=launch.launch_id,
+            issued_warp_insts=issued,
+            wall_cycles=wall,
+            per_sm_issued=per_sm_issued,
+            per_sm_busy_cycles=[last + 1 for last in per_sm_last],
+            skipped_warp_insts=sampler.skipped_warp_insts if has_sampler else 0,
+            extra_cycles=sampler.extra_cycles if has_sampler else 0.0,
+            mem_stats=self.mem.stats(),
+            counters=counters,
+        )
+
+    # ------------------------------------------------------------------
+    # Reference engine: the original per-instruction loop, kept as the
+    # equivalence oracle for the compact engine.
+    # ------------------------------------------------------------------
+
+    def _run_launch_reference(
+        self,
+        launch: LaunchTrace,
+        sampler: DispatchSampler | None,
+        recorder: FixedUnitRecorder | None,
+        reset_memory: bool,
+    ) -> LaunchResult:
         cfg = self.config
         if reset_memory:
             self.mem.reset()
@@ -248,7 +1301,7 @@ class GPUSimulator:
         wheaps: list[list] = [[] for _ in range(num_sms)]
         resident = [0] * num_sms
         per_sm_issued = [0] * num_sms
-        per_sm_last = [0] * num_sms
+        per_sm_last = [-1] * num_sms
 
         # Dispatch bookkeeping (mutated by closures below).
         next_tb = 0
@@ -284,7 +1337,8 @@ class GPUSimulator:
                 wh = wheaps[si]
                 for stagger, wt in enumerate(block.warps):
                     heappush(
-                        wh, (start + 2 * stagger, seq_counter, _WarpState(wt, tbst))
+                        wh,
+                        (start + 2 * stagger, seq_counter, _LegacyWarpState(wt, tbst)),
                     )
                     seq_counter += 1
                 resident[si] += 1
@@ -399,4 +1453,10 @@ class GPUSimulator:
         )
 
 
-__all__ = ["GPUSimulator", "LaunchResult", "FixedUnitRecorder", "UnitRecord"]
+__all__ = [
+    "GPUSimulator",
+    "LaunchResult",
+    "FixedUnitRecorder",
+    "UnitRecord",
+    "SimCounters",
+]

@@ -52,6 +52,140 @@ class MemoryHierarchy:
             a += spread
         return worst
 
+    def load1(self, sm_id: int, addr: int, now: int) -> int:
+        """Single-transaction fast path: one warp memory instruction
+        whose coalescer produced exactly one line transaction (the
+        common case for unit-stride access).  Mirrors :meth:`load`'s
+        worst-case-of-transactions semantics exactly — including the
+        floor at L1 latency — with the cache and DRAM bookkeeping
+        inlined, so the two paths are bit-identical in timing, state,
+        and statistics but this one costs no nested method calls."""
+        l1 = self.l1s[sm_id]
+        l1_done = now + self.l1_latency
+        lines = l1._lines
+        line = addr >> l1.line_shift
+        if line in lines:
+            lines.move_to_end(line)
+            l1.hits += 1
+            return l1_done
+        lines[line] = None
+        if len(lines) > l1.num_lines:
+            lines.popitem(last=False)
+        l1.misses += 1
+        l2 = self.l2
+        lines = l2._lines
+        line = addr >> l2.line_shift
+        if line in lines:
+            lines.move_to_end(line)
+            l2.hits += 1
+            l2_done = now + self.l2_latency
+            return l2_done if l2_done > l1_done else l1_done
+        lines[line] = None
+        if len(lines) > l2.num_lines:
+            lines.popitem(last=False)
+        l2.misses += 1
+        dram = self.dram
+        bank = (addr >> dram.line_shift) % dram.num_banks
+        row = addr >> dram.row_shift
+        free = dram.free_at[bank]
+        start = free if free > now else now
+        dram.total_queue_cycles += start - now
+        latency = dram.base_latency
+        if dram.jitter:
+            state = (dram._jitter_state * 1103515245 + 12345) & 0x7FFFFFFF
+            dram._jitter_state = state
+            latency += (state >> 16) % dram.jitter
+        if dram.open_row[bank] == row:
+            dram.row_hits += 1
+        else:
+            latency += dram.row_miss_penalty
+            dram.open_row[bank] = row
+        dram.free_at[bank] = start + dram.service
+        dram.requests += 1
+        done = start + latency + self.l1_latency
+        return done if done > l1_done else l1_done
+
+    def load_multi(
+        self, sm_id: int, addr: int, spread: int, num_req: int, now: int
+    ) -> int:
+        """Multi-transaction fast path: :meth:`load` with the per-line
+        L1/L2/DRAM bookkeeping inlined into one loop (no nested method
+        calls, statistics accumulated locally and folded in once).
+        Bit-identical to :meth:`load` in returned timing, cache/DRAM
+        state transitions, and statistics."""
+        l1 = self.l1s[sm_id]
+        l2 = self.l2
+        dram = self.dram
+        l1_done = now + self.l1_latency
+        l2_done = now + self.l2_latency
+        worst = l1_done
+        a = addr
+        l1_lines = l1._lines
+        l1_shift = l1.line_shift
+        l1_cap = l1.num_lines
+        l1_hits = 0
+        l1_misses = 0
+        l2_lines = l2._lines
+        l2_shift = l2.line_shift
+        l2_cap = l2.num_lines
+        l2_hits = 0
+        l2_misses = 0
+        d_requests = 0
+        d_row_hits = 0
+        d_queue = 0
+        d_state = dram._jitter_state
+        for _ in range(num_req):
+            line = a >> l1_shift
+            if line in l1_lines:
+                l1_lines.move_to_end(line)
+                l1_hits += 1
+                done = l1_done
+            else:
+                l1_lines[line] = None
+                if len(l1_lines) > l1_cap:
+                    l1_lines.popitem(last=False)
+                l1_misses += 1
+                line = a >> l2_shift
+                if line in l2_lines:
+                    l2_lines.move_to_end(line)
+                    l2_hits += 1
+                    done = l2_done
+                else:
+                    l2_lines[line] = None
+                    if len(l2_lines) > l2_cap:
+                        l2_lines.popitem(last=False)
+                    l2_misses += 1
+                    bank = (a >> dram.line_shift) % dram.num_banks
+                    row = a >> dram.row_shift
+                    free = dram.free_at[bank]
+                    start = free if free > now else now
+                    d_queue += start - now
+                    latency = dram.base_latency
+                    if dram.jitter:
+                        d_state = (d_state * 1103515245 + 12345) & 0x7FFFFFFF
+                        latency += (d_state >> 16) % dram.jitter
+                    if dram.open_row[bank] == row:
+                        d_row_hits += 1
+                    else:
+                        latency += dram.row_miss_penalty
+                        dram.open_row[bank] = row
+                    dram.free_at[bank] = start + dram.service
+                    d_requests += 1
+                    done = start + latency + self.l1_latency
+            if done > worst:
+                worst = done
+            a += spread
+        l1.hits += l1_hits
+        l1.misses += l1_misses
+        l2.hits += l2_hits
+        l2.misses += l2_misses
+        if d_requests:
+            dram.requests += d_requests
+            dram.row_hits += d_row_hits
+            dram.total_queue_cycles += d_queue
+            dram._jitter_state = d_state
+        return worst
+
     def reset(self, keep_stats: bool = False) -> None:
         """Invalidate all caches and DRAM bank state (between launches,
         so every launch's timing is independent of simulation order —

@@ -4,6 +4,13 @@ The simulator is sampling-agnostic: it calls these hooks and honours the
 dispatch decision; all TBPoint policy (region entry, warming,
 fast-forwarding — Section IV-B2) lives in the implementation
 (:class:`repro.core.intralaunch.RegionSampler`).
+
+Hooks and the compact engine: attaching a sampler or recorder switches
+the issue loop to its general (hook-aware) variant — segment batches are
+clipped at recorder unit boundaries and every callback fires at exactly
+the cycle and issued-count the reference engine would report, so hook
+observations are bit-identical across engines (property-tested in
+``tests/test_sim_compaction.py``).
 """
 
 from __future__ import annotations

@@ -18,6 +18,13 @@ class TestParser:
         args = build_parser().parse_args(["--scale", "0.5", "list"])
         assert args.scale == 0.5
 
+    def test_profile_flag_parsed(self):
+        args = build_parser().parse_args(["--profile", "list"])
+        assert args.profile is True
+        assert args.profile_limit == 30
+        args = build_parser().parse_args(["list"])
+        assert args.profile is False
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -30,6 +37,13 @@ class TestCommands:
         assert main(["model"]) == 0
         out = capsys.readouterr().out
         assert "p0.05M100N4" in out
+
+    def test_profile_wraps_command(self, capsys):
+        assert main(["--profile", "--profile-limit", "5", "list"]) == 0
+        captured = capsys.readouterr()
+        assert "convolutionSeparable" in captured.out
+        assert "cProfile" in captured.err
+        assert "cumulative" in captured.err
 
     def test_table1(self, capsys):
         assert main(["table1"]) == 0

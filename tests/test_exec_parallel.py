@@ -133,6 +133,78 @@ class TestWorkloadTracesAreParallelizable:
         assert clone.launches[1].num_blocks == 16
 
 
+class TestDegradeToSerial:
+    """parallel_map must not spawn a pool that cannot pay for itself:
+    more workers than CPUs, or too few items to amortize the spawn."""
+
+    def test_caps_effective_jobs_at_cpu_count(self, monkeypatch):
+        import repro.exec.engine as engine
+
+        monkeypatch.setattr(engine.os, "cpu_count", lambda: 1)
+        meta: dict = {}
+        out = parallel_map(_square, list(range(10)), jobs=8, meta=meta)
+        assert out == [i * i for i in range(10)]
+        assert meta["path"] == "serial"
+        assert meta["workers"] == 1
+        assert "effective jobs 1" in meta["reason"]
+
+    def test_effective_jobs_property_capped(self, monkeypatch):
+        import repro.exec.engine as engine
+
+        monkeypatch.setattr(engine.os, "cpu_count", lambda: 2)
+        assert ExecutionConfig(jobs=8).effective_jobs == 2
+        assert ExecutionConfig(jobs=0).effective_jobs == 2
+        assert ExecutionConfig(jobs=1).effective_jobs == 1
+
+    def test_small_item_count_stays_serial(self, monkeypatch):
+        import repro.exec.engine as engine
+
+        monkeypatch.setattr(engine.os, "cpu_count", lambda: 8)
+        meta: dict = {}
+        items = list(range(engine.MIN_PARALLEL_ITEMS - 1))
+        assert parallel_map(_square, items, jobs=4, meta=meta) == [
+            i * i for i in items
+        ]
+        assert meta["path"] == "serial"
+        assert "MIN_PARALLEL_ITEMS" in meta["reason"]
+
+    def test_meta_records_unpicklable_reason(self, monkeypatch):
+        import repro.exec.engine as engine
+
+        monkeypatch.setattr(engine.os, "cpu_count", lambda: 4)
+        meta: dict = {}
+        fn = lambda x: x + 1  # noqa: E731 — deliberately unpicklable
+        parallel_map(fn, list(range(10)), jobs=4, meta=meta)
+        assert meta["path"] == "serial"
+        assert meta["reason"] == "fn or items not picklable"
+
+    def test_parallel_path_records_meta(self, monkeypatch):
+        import repro.exec.engine as engine
+
+        monkeypatch.setattr(engine.os, "cpu_count", lambda: 2)
+        meta: dict = {}
+        out = parallel_map(_square, list(range(6)), jobs=2, meta=meta)
+        if meta["path"] == "parallel":  # pool may be unavailable in sandboxes
+            assert meta["workers"] == 2
+            assert meta["reason"] is None
+        assert out == [i * i for i in range(6)]
+
+    def test_run_tbpoint_records_exec_meta(self):
+        kernel = make_uniform_kernel(num_launches=2, blocks_per_launch=12)
+        tbp = run_tbpoint(
+            kernel, GPU, exec_config=ExecutionConfig(jobs=1, use_cache=False)
+        )
+        assert tbp.exec_meta["path"] == "serial"
+        assert tbp.exec_meta["workers"] == 1
+
+    def test_run_full_records_exec_meta(self):
+        kernel = make_uniform_kernel(num_launches=2, blocks_per_launch=12)
+        full = run_full(
+            kernel, GPU, exec_config=ExecutionConfig(jobs=1, use_cache=False)
+        )
+        assert full.exec_meta["path"] == "serial"
+
+
 class TestParallelMap:
     def test_preserves_input_order(self):
         items = list(range(20))

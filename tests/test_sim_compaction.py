@@ -1,0 +1,237 @@
+"""Equivalence of the compact (interned, segment-batched) engine and
+the per-instruction reference engine.
+
+The compact engine's entire claim is *bit-identical results, faster* —
+every test here compares the two engines on the same inputs and demands
+exact equality of every observable ``LaunchResult`` field, recorded
+sampling unit (IPC and BBV), and sampler callback stream.  The property
+tests drive randomly shaped launches with random ``FixedUnitRecorder``
+unit sizes so unit boundaries land mid-segment, which forces the
+segment-batching path to split segments exactly where the reference
+engine would have issued the boundary instruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import GPUConfig
+from repro.sim import FixedUnitRecorder, GPUSimulator, SimCounters
+from repro.trace import BlockTrace, LaunchTrace, WarpTrace
+from repro.trace.instruction import OP_ALU, OP_MEM_GLOBAL
+from repro.workloads import get_workload
+from repro.workloads.base import LaunchSpec, Segment, build_kernel
+
+from tests.conftest import make_manual_launch, make_uniform_kernel
+
+
+def result_fingerprint(result, recorder=None):
+    """Every observable field of a LaunchResult (+ recorded units)."""
+    fp = (
+        result.issued_warp_insts,
+        result.wall_cycles,
+        tuple(result.per_sm_issued),
+        tuple(result.per_sm_busy_cycles),
+        result.skipped_warp_insts,
+        result.extra_cycles,
+    )
+    if recorder is not None:
+        fp += (
+            tuple(
+                (u.start_cycle, u.end_cycle, u.insts,
+                 None if u.bbv is None else tuple(u.bbv))
+                for u in recorder.units
+            ),
+        )
+    return fp
+
+
+def run_both(launch, gpu=None, unit_insts=None, num_bbs=None):
+    """Run both engines on ``launch``; return their fingerprints."""
+    fps = []
+    for engine in ("reference", "compact"):
+        sim = GPUSimulator(gpu or GPUConfig(), engine=engine)
+        recorder = None
+        if unit_insts is not None:
+            recorder = FixedUnitRecorder(
+                unit_insts=unit_insts,
+                num_bbs=num_bbs or getattr(launch, "num_bbs", 1),
+            )
+        result = sim.run_launch(launch, recorder=recorder)
+        fps.append(result_fingerprint(result, recorder))
+    return fps
+
+
+class TestRegistryKernelEquivalence:
+    """Acceptance: identical LaunchResult fields (issued insts, wall
+    cycles, per-SM arrays, unit IPCs/BBVs) on >= 3 registry kernels."""
+
+    @pytest.mark.parametrize("name", ["bfs", "hotspot", "stream"])
+    def test_kernel_equivalent_with_units(self, name):
+        kernel = get_workload(name, scale=0.0625)
+        for launch in kernel.launches[:2]:
+            ref, compact = run_both(
+                launch, unit_insts=997, num_bbs=launch.num_bbs
+            )
+            assert ref == compact
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", ["black", "kmeans", "lbm"])
+    def test_kernel_equivalent_plain(self, name):
+        kernel = get_workload(name, scale=0.125)
+        ref, compact = run_both(kernel.launches[0])
+        assert ref == compact
+
+
+@st.composite
+def random_launches(draw):
+    """Small launches diverse in block count, trace length, and memory
+    intensity — enough shape variety to hit every issue-loop branch."""
+    num_blocks = draw(st.integers(min_value=1, max_value=20))
+    insts = draw(st.integers(min_value=8, max_value=48))
+    mem_ratio = draw(st.sampled_from([0.0, 0.05, 0.2, 0.5]))
+    warps = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    spec = LaunchSpec(
+        segments=(
+            Segment(count=num_blocks, insts_per_warp=insts,
+                    mem_ratio=mem_ratio),
+        ),
+        warps_per_block=warps,
+    )
+    kernel = build_kernel("prop", "test", "regular", [spec], seed)
+    return kernel.launches[0]
+
+
+class TestUnitBoundaryProperty:
+    """A unit boundary landing mid-segment must split the segment: the
+    compact engine's per-unit IPCs and BBVs must match the reference
+    per-instruction path exactly, for any unit size."""
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        launch=random_launches(),
+        unit_insts=st.integers(min_value=1, max_value=64),
+        num_sms=st.sampled_from([1, 2, 4]),
+        scheduler=st.sampled_from(["oldest", "lrr"]),
+    )
+    def test_units_identical(self, launch, unit_insts, num_sms, scheduler):
+        gpu = GPUConfig(num_sms=num_sms, warps_per_sm=8, scheduler=scheduler)
+        ref, compact = run_both(
+            launch, gpu=gpu, unit_insts=unit_insts, num_bbs=launch.num_bbs
+        )
+        assert ref == compact
+
+
+class TestDegenerateTraces:
+    """Unvalidated traces may carry a DRAM opcode with zero transactions
+    (static stall 0) — the one case that can break the compact engine's
+    saturated-prefix reasoning, so it must be detected and excluded."""
+
+    @staticmethod
+    def _degenerate_launch(num_blocks=6, n=24):
+        def factory(tb_id: int) -> BlockTrace:
+            op = np.full(n, OP_ALU, dtype=np.uint8)
+            op[::3] = OP_MEM_GLOBAL
+            mem_req = np.zeros(n, dtype=np.uint8)
+            # Half the DRAM ops carry a real transaction, half carry
+            # none (degenerate: they stall 0 cycles statically).
+            mem_req[::6] = 1
+            addr = np.arange(n, dtype=np.int64) * 128 + tb_id * 4096
+            warps = [
+                WarpTrace.from_columns(
+                    op,
+                    np.full(n, 32, dtype=np.uint8),
+                    mem_req,
+                    addr,
+                    np.full(n, 128, dtype=np.int64),
+                    np.zeros(n, dtype=np.uint16),
+                    validate=False,
+                )
+                for _ in range(2)
+            ]
+            return BlockTrace(tb_id, warps)
+
+        return LaunchTrace(
+            kernel_name="degenerate",
+            launch_id=0,
+            num_blocks=num_blocks,
+            warps_per_block=2,
+            factory=factory,
+            num_bbs=1,
+        )
+
+    def test_zero_stall_mem_ops_equivalent(self):
+        launch = self._degenerate_launch()
+        gpu = GPUConfig(num_sms=2, warps_per_sm=8)
+        ref, compact = run_both(launch, gpu=gpu, unit_insts=7)
+        assert ref == compact
+
+    def test_zero_stall_dense_blocks_equivalent(self):
+        launch = self._degenerate_launch(num_blocks=20, n=40)
+        ref, compact = run_both(launch, gpu=GPUConfig(num_sms=3))
+        assert ref == compact
+
+
+class TestIdleSmBusyCycles:
+    """SMs that never issued an instruction must report 0 busy cycles,
+    not the phantom ``last + 1 = 1`` the per-SM IPC sum used to see."""
+
+    @pytest.mark.parametrize("engine", ["reference", "compact"])
+    def test_idle_sms_report_zero(self, engine):
+        launch = make_manual_launch([20, 20])
+        result = GPUSimulator(
+            GPUConfig(num_sms=14), engine=engine
+        ).run_launch(launch)
+        for issued, busy in zip(result.per_sm_issued, result.per_sm_busy_cycles):
+            if issued == 0:
+                assert busy == 0
+            else:
+                assert busy > 0
+        assert result.per_sm_busy_cycles.count(0) == 12
+
+
+class TestSimCounters:
+    def test_compact_engine_attaches_counters(self):
+        kernel = make_uniform_kernel(num_launches=1, blocks_per_launch=32)
+        result = GPUSimulator(GPUConfig(num_sms=2)).run_launch(
+            kernel.launches[0]
+        )
+        c = result.counters
+        assert isinstance(c, SimCounters)
+        assert c.events_popped > 0
+        assert c.heap_pushes > 0
+        # Identical blocks: every dispatch after the first hits the
+        # interning cache.
+        assert c.interning_hits > 0
+        assert c.interning_misses >= 1
+        d = c.as_dict()
+        assert d["events_popped"] == c.events_popped
+
+    def test_reference_engine_has_no_counters(self):
+        kernel = make_uniform_kernel(num_launches=1, blocks_per_launch=8)
+        result = GPUSimulator(
+            GPUConfig(num_sms=2), engine="reference"
+        ).run_launch(kernel.launches[0])
+        assert result.counters is None
+
+    def test_segment_batching_engages_when_unsaturated(self):
+        # One block of one warp per SM: a lone resident warp is the
+        # canonical provably-equivalent segment-batching case.
+        kernel = make_uniform_kernel(
+            num_launches=1, blocks_per_launch=2, warps_per_block=1,
+            insts_per_warp=64, mem_ratio=0.05,
+        )
+        result = GPUSimulator(GPUConfig(num_sms=2)).run_launch(
+            kernel.launches[0]
+        )
+        c = result.counters
+        assert c.segment_hits > 0
+        assert c.segment_insts >= 2 * c.segment_hits
