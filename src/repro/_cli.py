@@ -10,6 +10,9 @@ Every experiment in the evaluation can be regenerated from the shell:
 * ``sensitivity`` — Figs. 12-13 hardware-configuration sweep;
 * ``model`` — Fig. 5's Markov/Monte-Carlo study;
 * ``table1`` — projected simulation times at measured throughput;
+* ``simulate KERNEL`` — one timing-simulator launch, with
+  ``--mem-stats`` for the memory-hierarchy statistics (L1/L2 hit
+  rates, DRAM row-hit rate, mean queue delay);
 * ``cache info`` / ``cache clear`` — persistent profile-cache status
   and maintenance.
 
@@ -214,6 +217,51 @@ def cmd_cache(args: argparse.Namespace) -> None:
     ))
 
 
+def cmd_simulate(args: argparse.Namespace) -> None:
+    from repro.config import GPUConfig
+    from repro.sim import GPUSimulator
+    from repro.workloads import get_workload
+
+    kernel = get_workload(args.kernel, scale=args.scale, seed=args.seed)
+    if not 0 <= args.launch < len(kernel.launches):
+        raise SystemExit(
+            f"launch {args.launch} out of range: {args.kernel} has "
+            f"{len(kernel.launches)} launches at this scale"
+        )
+    launch = kernel.launches[args.launch]
+    sim = GPUSimulator(
+        GPUConfig(), engine=args.engine, mem_front_end=args.mem_front_end
+    )
+    result = sim.run_launch(launch)
+    ipc = (
+        result.issued_warp_insts / result.wall_cycles
+        if result.wall_cycles else 0.0
+    )
+    rows = [
+        ("kernel", args.kernel),
+        ("launch", str(args.launch)),
+        ("engine", args.engine),
+        ("memory front end", args.mem_front_end),
+        ("issued warp insts", f"{result.issued_warp_insts:,}"),
+        ("wall cycles", f"{result.wall_cycles:,}"),
+        ("warp IPC", f"{ipc:.3f}"),
+    ]
+    if args.mem_stats:
+        m = result.mem_stats
+        rows.extend([
+            ("L1 hit rate", f"{m['l1_hit_rate']:.2%}"),
+            ("L2 hit rate", f"{m['l2_hit_rate']:.2%}"),
+            ("DRAM requests", f"{m['dram_requests']:,}"),
+            ("DRAM row-hit rate", f"{m['dram_row_hit_rate']:.2%}"),
+            ("DRAM mean queue delay",
+             f"{m['dram_mean_queue_delay']:.1f} cycles"),
+        ])
+    print(render_table(
+        ["field", "value"], rows,
+        title=f"Timing simulation — {args.kernel} launch {args.launch}",
+    ))
+
+
 def cmd_table1(args: argparse.Namespace) -> None:
     rows = run_table1()
     print(render_table(
@@ -288,6 +336,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("model", help="Fig. 5 Markov/Monte-Carlo study")
     sub.add_parser("table1", help="Table I projected simulation times")
 
+    p = sub.add_parser(
+        "simulate", help="run the timing simulator on one kernel launch"
+    )
+    p.add_argument("kernel", choices=ALL_KERNELS)
+    p.add_argument(
+        "--launch", type=int, default=0, metavar="N",
+        help="launch index within the kernel (default 0)",
+    )
+    p.add_argument(
+        "--engine", choices=["compact", "reference"], default="compact",
+        help="simulation engine (default compact)",
+    )
+    p.add_argument(
+        "--mem-front-end", choices=["fast", "reference"], default="fast",
+        help="memory-hierarchy front end (default fast)",
+    )
+    p.add_argument(
+        "--mem-stats", action="store_true",
+        help="also print memory-hierarchy statistics (L1/L2 hit rates, "
+             "DRAM row-hit rate, mean queue delay)",
+    )
+
     p = sub.add_parser("cache", help="persistent profile-cache maintenance")
     p.add_argument("action", choices=["info", "clear"])
     return parser
@@ -301,6 +371,7 @@ _COMMANDS = {
     "sensitivity": cmd_sensitivity,
     "model": cmd_model,
     "table1": cmd_table1,
+    "simulate": cmd_simulate,
     "cache": cmd_cache,
 }
 

@@ -7,14 +7,27 @@ instructions traverse per-SM L1s, a shared L2 and banked DRAM with
 open-row and queueing behaviour, which produces the *variable* stall
 latencies the paper's model calls ``M``.
 
+The memory subsystem has two front ends: the batched fast path
+(``MemoryHierarchy``, the default) and the per-transaction reference
+implementation (``ReferenceMemoryHierarchy``) kept as the equivalence
+oracle — both produce bit-identical timing, cache/DRAM state and
+statistics (property-tested in ``tests/test_sim_memory_fastpath.py``).
+Select one via ``make_memory(config, front_end)`` or
+``GPUSimulator(..., mem_front_end=...)``.
+
 The simulator exposes the hooks TBPoint's intra-launch sampling needs:
 a dispatch-time skip decision and sampling-unit tracking where a unit is
 the lifetime of a *specified* thread block (Section IV-B2).
 """
 
-from repro.sim.caches import LRUCache
+from repro.sim.caches import DictLRUCache, LRUCache
 from repro.sim.dram import DRAMModel
-from repro.sim.memory import MemoryHierarchy
+from repro.sim.memory import (
+    MEMORY_FRONT_ENDS,
+    MemoryHierarchy,
+    ReferenceMemoryHierarchy,
+    make_memory,
+)
 from repro.sim.gpu import (
     FixedUnitRecorder,
     GPUSimulator,
@@ -25,8 +38,12 @@ from repro.sim.gpu import (
 
 __all__ = [
     "LRUCache",
+    "DictLRUCache",
     "DRAMModel",
     "MemoryHierarchy",
+    "ReferenceMemoryHierarchy",
+    "MEMORY_FRONT_ENDS",
+    "make_memory",
     "GPUSimulator",
     "LaunchResult",
     "SimCounters",

@@ -4,10 +4,31 @@ Caches are modelled as capacity-bounded LRU maps over line addresses —
 a fully-associative approximation of the 8-way set-associative caches of
 Table V.  What the sampling experiments depend on is *warm-up* (the
 reason intra-launch sampling has a warming period) and *capacity*
-behaviour, both of which survive the associativity approximation; the
-``OrderedDict`` implementation keeps the per-access cost at a couple of
-C-level dict operations, which matters because the cache sits on the
-simulator's hot path.
+behaviour, both of which survive the associativity approximation.
+
+Storage choice (measured, see DESIGN.md §8): the LRU set lives in an
+``OrderedDict``.  The tempting "plain dict" alternative — CPython dicts
+preserve insertion order, so a hit could refresh recency by delete +
+reinsert and eviction could remove ``next(iter(...))`` — is *exactly*
+LRU-equivalent but catastrophically slower under eviction pressure:
+deleting from the front of a plain dict leaves tombstones in the dense
+entry array that ``iter()`` must skip until the next resize compacts
+them, so eviction cost grows with the deletions since the last resize
+(~5.9 µs/eviction at L2 size, 6144 lines, vs ~150 ns for
+``OrderedDict.popitem`` — the linked list exists precisely to make
+both ends O(1)).  Hits are also slower (~79 ns for del+reinsert vs
+~50 ns for a prebound ``move_to_end``).  :class:`DictLRUCache` keeps
+that variant in-tree as the documented, property-tested rejection;
+``tests/test_sim_memory_fastpath.py`` checks it stays bit-identical to
+:class:`LRUCache` on random access sequences, which is what makes the
+performance comparison apples-to-apples.
+
+The memory fast path (:class:`~repro.sim.memory.MemoryHierarchy`) does
+not call :meth:`LRUCache.access` at all — it works directly on
+``_lines`` with prebound ``move_to_end``/``popitem`` and accumulates
+hit/miss counts in locals — so the per-transaction method-call overhead
+this module's ``access`` carries is paid only by the reference front
+end (the equivalence oracle).
 """
 
 from __future__ import annotations
@@ -15,7 +36,27 @@ from __future__ import annotations
 from collections import OrderedDict
 
 
-class LRUCache:
+class _LRUStatsMixin:
+    """Derived statistics shared by the LRU implementations."""
+
+    __slots__ = ()
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return len(self._lines)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache(_LRUStatsMixin):
     """Capacity-bounded LRU cache over line addresses.
 
     Parameters
@@ -58,19 +99,59 @@ class LRUCache:
         """Non-mutating lookup (no LRU update, no fill, no stats)."""
         return (addr >> self.line_shift) in self._lines
 
-    @property
-    def occupancy(self) -> int:
-        """Number of valid lines currently resident."""
-        return len(self._lines)
+    def reset(self, keep_stats: bool = False) -> None:
+        """Invalidate all lines (and by default zero the counters)."""
+        self._lines.clear()
+        if not keep_stats:
+            self.hits = 0
+            self.misses = 0
 
-    @property
-    def accesses(self) -> int:
-        return self.hits + self.misses
 
-    @property
-    def hit_rate(self) -> float:
-        total = self.accesses
-        return self.hits / total if total else 0.0
+class DictLRUCache(_LRUStatsMixin):
+    """Plain-dict LRU: the measured-and-rejected alternative.
+
+    Exactly LRU-equivalent to :class:`LRUCache` — a dict ordered by
+    insertion is an LRU list if every hit reinserts its key (delete +
+    add moves it to the back, what ``move_to_end`` does) and the front
+    (``next(iter(...))``) is always the oldest — but eviction pays the
+    tombstone scan described in the module docstring, so it loses badly
+    on eviction-heavy (memory-bound) workloads.  Kept for the
+    equivalence property test and as the recorded measurement behind
+    the storage choice; not used by either memory front end.
+    """
+
+    __slots__ = ("num_lines", "line_shift", "hits", "misses", "_lines")
+
+    def __init__(self, capacity_bytes: int, line_size: int):
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ValueError("line_size must be a positive power of two")
+        if capacity_bytes < line_size:
+            raise ValueError("capacity smaller than one line")
+        self.num_lines = capacity_bytes // line_size
+        self.line_shift = line_size.bit_length() - 1
+        self.hits = 0
+        self.misses = 0
+        self._lines: dict[int, None] = {}
+
+    def access(self, addr: int) -> bool:
+        """Access one byte address; return True on hit.  Misses allocate
+        (and evict LRU if full)."""
+        line = addr >> self.line_shift
+        lines = self._lines
+        if line in lines:
+            del lines[line]
+            lines[line] = None
+            self.hits += 1
+            return True
+        lines[line] = None
+        if len(lines) > self.num_lines:
+            del lines[next(iter(lines))]
+        self.misses += 1
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating lookup (no LRU update, no fill, no stats)."""
+        return (addr >> self.line_shift) in self._lines
 
     def reset(self, keep_stats: bool = False) -> None:
         """Invalidate all lines (and by default zero the counters)."""
@@ -80,4 +161,4 @@ class LRUCache:
             self.misses = 0
 
 
-__all__ = ["LRUCache"]
+__all__ = ["LRUCache", "DictLRUCache"]

@@ -25,10 +25,16 @@ class DRAMModel:
       not hit the open row,
     * occupies the bank for ``dram_service`` cycles (burst transfer),
       which is what creates queueing under load.
+
+    ``bank_mask`` is precomputed at construction: when the bank count is
+    a power of two the line-to-bank map is a single AND instead of a
+    modulo (the Table V geometry, 6 channels x 16 banks = 96, takes the
+    modulo path; power-of-two configs take the mask).
     """
 
     __slots__ = (
         "num_banks",
+        "bank_mask",
         "base_latency",
         "row_miss_penalty",
         "service",
@@ -45,6 +51,14 @@ class DRAMModel:
 
     def __init__(self, config: GPUConfig):
         self.num_banks = config.dram_channels * config.dram_banks
+        # 0 marks "not a power of two: use modulo"; the truthiness test
+        # is unambiguous because a real mask is never 0 (num_banks == 1
+        # maps every line to bank 0 via modulo just as correctly).
+        self.bank_mask = (
+            self.num_banks - 1
+            if self.num_banks & (self.num_banks - 1) == 0 and self.num_banks > 1
+            else 0
+        )
         self.base_latency = config.dram_latency
         self.row_miss_penalty = config.dram_row_miss_penalty
         self.service = config.dram_service
@@ -65,7 +79,9 @@ class DRAMModel:
 
     def access(self, addr: int, now: int) -> int:
         """Issue one line-sized request; return its completion time."""
-        bank = (addr >> self.line_shift) % self.num_banks
+        line = addr >> self.line_shift
+        mask = self.bank_mask
+        bank = line & mask if mask else line % self.num_banks
         row = addr >> self.row_shift
         free = self.free_at[bank]
         start = free if free > now else now
@@ -88,6 +104,70 @@ class DRAMModel:
         self.total_queue_cycles += queue
         return start + latency
 
+    def access_n(self, addrs, now: int) -> int:
+        """Issue the byte addresses in order; return the completion time
+        of the slowest request.
+
+        Bit-identical in bank state, statistics and jitter stream to
+        issuing the same addresses through :meth:`access` one by one,
+        with the per-request bookkeeping amortized: all model parameters
+        are hoisted into locals once per batch, statistics accumulate in
+        locals flushed once, and runs of consecutive requests to the
+        *same* bank keep that bank's ``free_at``/``open_row`` in locals,
+        writing the lists only when the batch moves to another bank.
+        """
+        free_at = self.free_at
+        open_row = self.open_row
+        mask = self.bank_mask
+        num_banks = self.num_banks
+        line_shift = self.line_shift
+        row_shift = self.row_shift
+        base_latency = self.base_latency
+        row_miss_penalty = self.row_miss_penalty
+        service = self.service
+        jitter = self.jitter
+        state = self._jitter_state
+        row_hits = 0
+        queue = 0
+        worst = 0
+        last_bank = -1
+        last_free = 0
+        last_row = -1
+        for addr in addrs:
+            line = addr >> line_shift
+            bank = line & mask if mask else line % num_banks
+            if bank != last_bank:
+                if last_bank >= 0:
+                    free_at[last_bank] = last_free
+                    open_row[last_bank] = last_row
+                last_free = free_at[bank]
+                last_row = open_row[bank]
+                last_bank = bank
+            row = addr >> row_shift
+            start = last_free if last_free > now else now
+            queue += start - now
+            latency = base_latency
+            if jitter:
+                state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+                latency += (state >> 16) % jitter
+            if last_row == row:
+                row_hits += 1
+            else:
+                latency += row_miss_penalty
+                last_row = row
+            last_free = start + service
+            done = start + latency
+            if done > worst:
+                worst = done
+        if last_bank >= 0:
+            free_at[last_bank] = last_free
+            open_row[last_bank] = last_row
+        self.requests += len(addrs)
+        self.row_hits += row_hits
+        self.total_queue_cycles += queue
+        self._jitter_state = state
+        return worst
+
     @property
     def row_hit_rate(self) -> float:
         return self.row_hits / self.requests if self.requests else 0.0
@@ -97,9 +177,13 @@ class DRAMModel:
         return self.total_queue_cycles / self.requests if self.requests else 0.0
 
     def reset(self, keep_stats: bool = False) -> None:
-        """Close all rows and clear bank timing (between launches)."""
-        self.open_row = [-1] * self.num_banks
-        self.free_at = [0] * self.num_banks
+        """Close all rows and clear bank timing (between launches).
+
+        Mutates the bank lists in place rather than rebinding them:
+        the fast memory front end keeps direct references to these
+        lists, which must survive a reset."""
+        self.open_row[:] = [-1] * self.num_banks
+        self.free_at[:] = [0] * self.num_banks
         self._jitter_state = 1
         if not keep_stats:
             self.requests = 0

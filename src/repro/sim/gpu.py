@@ -27,9 +27,14 @@ bit-identical by construction:
     segment wherever that is provably timing-equivalent (bounded by the
     SM's next-ready warp and — whenever shared state could observe the
     difference — the next global event);
+  - **windowed issue**: one global event per SM *window*; the SM's
+    warp pool (a per-SM binary heap in the specialized no-hooks loop)
+    is simulated in a tight local loop that defers back to the global
+    heap only at *barrier* instructions (memory ops, block-retiring
+    final instructions, hook-observed issues);
   - **observability**: :class:`SimCounters` tallies events, heap
-    pushes, segment/interning/memory-fast-path hits and is attached to
-    the :class:`LaunchResult`.
+    pushes, segment/interning hits and memory-batching engagement and
+    is attached to the :class:`LaunchResult`.
 
 The timing-equivalence argument lives in DESIGN.md ("Simulator hot
 path"); ``tests/test_sim_compaction.py`` property-checks the two
@@ -54,12 +59,12 @@ from __future__ import annotations
 from bisect import bisect_left, insort
 from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush, heapreplace
 
 import numpy as np
 
 from repro.config import GPUConfig
-from repro.sim.memory import MemoryHierarchy
+from repro.sim.memory import MEMORY_FRONT_ENDS, make_memory
 from repro.sim.sampler_hooks import DispatchSampler
 from repro.trace import STALL_CYCLES, LaunchTrace, is_dram_op
 from repro.trace.blocktrace import BlockTrace
@@ -91,8 +96,21 @@ class SimCounters:
     segment_insts: int = 0
     interning_hits: int = 0
     interning_misses: int = 0
-    mem_fast_hits: int = 0
     rounds_sorted: int = 0
+    #: Warp memory instructions issued and the line transactions they
+    #: expanded to (``mem_txns / mem_insts`` = transactions per memory
+    #: instruction, the batching exposure of the launch).
+    mem_insts: int = 0
+    mem_txns: int = 0
+    #: Memory-front-end fast-path engagement, snapshotted from the
+    #: hierarchy's own counters across this run: multi-transaction
+    #: batched ``load`` calls, same-line transactions resolved without
+    #: cache operations, and per-level hits inside batched calls.  All
+    #: zero under the reference front end (no fast path exists there).
+    mem_batches: int = 0
+    mem_dedup_txns: int = 0
+    mem_batch_l1_hits: int = 0
+    mem_batch_l2_hits: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -351,19 +369,29 @@ class GPUSimulator:
 
     ``engine`` selects the hot-loop implementation: ``"compact"`` (the
     default interned/segment-compacted path) or ``"reference"`` (the
-    original per-instruction loop).  Both produce bit-identical
-    :class:`LaunchResult`\\ s; the reference engine exists as the
-    equivalence oracle and sets ``counters`` to ``None``.
+    original per-instruction loop).  ``mem_front_end`` independently
+    selects the memory hierarchy implementation: ``"fast"`` (the
+    default batched front end) or ``"reference"`` (the pre-fast-path
+    oracle).  All four combinations produce bit-identical
+    :class:`LaunchResult`\\ s; the reference engine sets ``counters``
+    to ``None``.
     """
 
     ENGINES = ("compact", "reference")
+    MEM_FRONT_ENDS = tuple(MEMORY_FRONT_ENDS)
 
-    def __init__(self, config: GPUConfig | None = None, engine: str = "compact"):
+    def __init__(
+        self,
+        config: GPUConfig | None = None,
+        engine: str = "compact",
+        mem_front_end: str = "fast",
+    ):
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r}; choose from {self.ENGINES}")
         self.config = config or GPUConfig()
         self.engine = engine
-        self.mem = MemoryHierarchy(self.config)
+        self.mem_front_end = mem_front_end
+        self.mem = make_memory(self.config, mem_front_end)
         # Simulator-lifetime trace interning (compact engine): tables
         # survive across run_launch calls, so re-simulating a launch —
         # or simulating the near-identical relaunches TBPoint's
@@ -425,22 +453,23 @@ class GPUSimulator:
         occ = cfg.sm_occupancy(launch.warps_per_block)
         num_blocks = launch.num_blocks
 
-        # Per-SM warp pool, replacing a binary heap with a *round*
-        # structure: ``rnds[si]`` is a sorted list consumed in order
-        # through cursor ``ris[si]``; re-queued / newly dispatched
-        # entries collect unsorted in ``nxts[si]`` with their minimum
-        # ready time tracked in ``nxtmins[si]``.  The sorted head is the
-        # pool minimum unless an entry in ``nxts`` ties or beats it
-        # (``nxtmin <= head.ready``), in which case the two are merged
-        # and re-sorted — so extraction order equals heap order, at one
-        # C-level sort per round instead of two heap operations per
-        # instruction.  Entries are mutable lists
+        # Per-SM warp pool.  Entries are mutable lists
         # ``[ready, seq, warp, pc, stall, stop_pc, n, mi]`` reused
         # across re-queues; ``seq`` is globally unique, so comparisons
         # never reach the warp object.  ``stop_pc`` is the next pc that
         # needs special handling — the warp's next memory instruction or
         # its final instruction, whichever comes first — so the hot loop
         # pays one comparison for both cases.
+        #
+        # Dispatch stages fresh entries in ``nxts[si]`` (min ready time
+        # in ``nxtmins[si]``).  The specialized no-hooks loop converts
+        # the staged entries into per-SM binary heaps and keeps them
+        # there; the general loop (sampler / recorder / lrr) consumes a
+        # *round* structure instead: ``rnds[si]`` is a sorted list read
+        # through cursor ``ris[si]``, re-queues collect unsorted in
+        # ``nxts[si]``, and the two merge whenever a re-queued entry
+        # ties or beats the sorted head (``nxtmin <= head.ready``) — so
+        # extraction order equals heap order in both cases.
         rnds: list[list] = [[] for _ in range(num_sms)]
         ris = [0] * num_sms
         nxts: list[list] = [[] for _ in range(num_sms)]
@@ -631,9 +660,10 @@ class GPUSimulator:
         event_heap: list = [(0, si) for si in range(num_sms) if nxts[si]]
 
         # Hot-loop local bindings.
-        mem_load = self.mem.load_multi
-        mem_load1 = self.mem.load1
+        mem = self.mem
+        mem_load = mem.load
         pop, push = heappop, heappush
+        replace = heapreplace
         bisect = bisect_left
         lrr = cfg.scheduler == "lrr"
         rec = recorder
@@ -656,8 +686,17 @@ class GPUSimulator:
         n_pushes = 0
         n_seg_hits = 0
         n_seg_insts = 0
-        n_mem_fast = 0
+        n_mem = 0
+        n_txn = 0
         n_rounds = 0
+
+        # Fast-path engagement snapshot: the hierarchy's counters are
+        # cumulative over the simulator's lifetime (reset() zeroes them
+        # only when reset_memory is set), so deltas are taken per run.
+        mb0 = mem.batches
+        md0 = mem.dedup_txns
+        m1h0 = mem.batch_l1_hits
+        m2h0 = mem.batch_l2_hits
 
         # One global event per SM *window*, not per instruction.  Warps
         # on one SM interact with the rest of the machine only through
@@ -678,230 +717,62 @@ class GPUSimulator:
         # removed: no hook accounting, no lrr sequence renumbering, and
         # the issued/busy-cycle tallies accumulate in window-local
         # variables flushed at window end instead of per instruction.
-        # The window-entry exemption ("first") collapses to a predicate
-        # over those locals evaluated only at barrier instructions.  It
-        # drains the event heap completely, so the general loop below is
-        # skipped; results are bit-identical to both the general loop
-        # and the reference engine.
+        # The window-entry exemption ("first") collapses to a constant
+        # per-window defer threshold (the global heap only changes at
+        # defers).  It drains the event heap completely, so the general
+        # loop below is skipped; results are bit-identical to both the
+        # general loop and the reference engine.
+        #
+        # Pool structure: each SM's warp pool is a binary heap of the
+        # mutable entries — one C-level heapreplace per requeue.  Any
+        # pool structure that extracts strictly in (ready, seq) order
+        # yields identical results, so the choice is invisible in the
+        # output; it is a pure performance decision.  The round
+        # structure the general loop below uses (sorted list consumed
+        # through a cursor, plus an unsorted spill) was measured
+        # against the heap on all twelve registry kernels: DRAM
+        # completion jitter preempts the round head on nearly every
+        # memory return, degenerating rounds into per-issue
+        # insorts/re-sorts, and the heap won everywhere — 0.65-0.99x
+        # of the round time, worst exactly on the memory-bound kernels
+        # this PR targets (DESIGN.md §8).
         if no_hooks and not lrr:
-            sats = [0] * num_sms
+            whs = []
+            for si in range(num_sms):
+                wh = nxts[si]
+                nxts[si] = []
+                nxtmins[si] = _INF
+                heapify(wh)
+                whs.append(wh)
             while event_heap:
                 n_events += 1
                 t, si = pop(event_heap)
-                rnd = rnds[si]
-                ri = ris[si]
-                rlen = len(rnd)
-                nxt = nxts[si]
-                napp = nxt.append
-                nxtmin = nxtmins[si]
-                wi = 0
-                wlast = -1
-                # Barriers defer when another SM's event precedes this
-                # window's issue slot in (cycle, sm) order.  The heap
-                # only changes at defers, so the threshold is a window
-                # constant: defer exactly when t >= hbar.  At window
-                # start t < hbar always holds (this event was the heap
-                # minimum), which is what used to be the explicit
-                # first-instruction exemption.
+                wh = whs[si]
+                if not wh:
+                    continue
+                # Barrier threshold: constant per window (the global
+                # heap only changes at defers).  A barrier at t >= hbar
+                # would run at/past the next global event, so it defers
+                # and lets (cycle, sm) order decide, exactly as the
+                # reference heap does.
                 if event_heap:
                     h = event_heap[0]
                     hbar = h[0] if h[1] < si else h[0] + 1
                 else:
                     hbar = _INF
-                # Saturated-prefix bound: every round entry with ready
-                # time r < min(nxtmin, t + 1) at the time the bound was
-                # computed can be issued by the tight loop below with no
-                # merge / idle / batch checks at all.  Requeues always
-                # re-arrive at t + 1 or later (stalls of batchable
-                # traces are >= 1, memory completions and fresh
-                # dispatches land at >= t + 1), so nothing can preempt
-                # those entries, their ready times are already past,
-                # and the entry after each of them is ready too —
-                # meaning a segment batch could never trigger either.
-                # The last prefix entry is excluded (its successor may
-                # be idle, so it may batch) and handled by the full
-                # path.  ``satm1`` is that exclusive tight-loop limit,
-                # persisted per SM across windows (t only grows, so a
-                # stale bound is merely conservative); a stall-0
-                # requeue (degenerate traces) invalidates it.
-                satm1 = sats[si]
-                if satm1 <= ri and ri < rlen:
-                    # Refresh the stale bound: if even the last round
-                    # entry is ready and unpreemptable the whole rest of
-                    # the round is prefix (the common saturated case);
-                    # otherwise locate the boundary, but only when the
-                    # remainder is long enough to repay the bisect.
-                    lr = rnd[rlen - 1][0]
-                    if lr <= t and lr < nxtmin:
-                        satm1 = rlen - 1
-                    elif rlen - ri >= 8:
-                        b = t + 1
-                        if nxtmin < b:
-                            b = nxtmin
-                        satm1 = bisect(rnd, [b], ri, rlen) - 1
+                wi = 0
+                wlast = -1
                 while True:  # issue slots within this SM's window
-                    if ri == rlen:
-                        if not nxt:
-                            break  # SM drained
-                        rnd = sorted(nxt)
-                        nxt.clear()
-                        rnds[si] = rnd
-                        ri = 0
-                        rlen = len(rnd)
-                        nxtmin = _INF
-                        n_rounds += 1
-                        if rnd[rlen - 1][0] <= t:
-                            satm1 = rlen - 1
-                        elif rlen >= 8:
-                            satm1 = bisect(rnd, [t + 1], 0, rlen) - 1
-                        else:
-                            satm1 = 0
-                    if ri < satm1:
-                        # ---- tight loop over the saturated prefix ----
-                        t0w = t
-                        e = rnd[ri]
-                        pc = e[3]
-                        while True:
-                            if pc == e[5]:
-                                # Stop: a memory op is inlined here (its
-                                # requeue lands at >= t + 1, keeping the
-                                # prefix invariant); a final instruction
-                                # or a due defer exits to the full path.
-                                w = e[2]
-                                mi = e[7]
-                                if mi >= w.m or w.pos[mi] != pc:
-                                    break
-                                if t >= hbar:
-                                    break
-                                ri += 1
-                                mr = w.mreq[mi]
-                                if mr == 1:
-                                    done = mem_load1(si, w.maddr[mi], t)
-                                    n_mem_fast += 1
-                                else:
-                                    done = mem_load(
-                                        si, w.maddr[mi], w.mspread[mi],
-                                        mr, t,
-                                    )
-                                mi += 1
-                                e[7] = mi
-                                pc += 1
-                                if pc < e[6]:
-                                    e[3] = pc
-                                    e[5] = (
-                                        w.pos[mi] if mi < w.m else e[6] - 1
-                                    )
-                                    e[0] = done
-                                    napp(e)
-                                    if done < nxtmin:
-                                        nxtmin = done
-                                        if done <= t:
-                                            satm1 = 0
-                                            t += 1
-                                            break
-                                else:
-                                    tb = w.tb
-                                    tb.live -= 1
-                                    if tb.live == 0:
-                                        nxtmins[si] = nxtmin
-                                        retire_tb(tb, si, t + 1)
-                                        nxtmin = nxtmins[si]
-                                t += 1
-                                if ri == satm1:
-                                    # Try to extend the prefix past the
-                                    # stale boundary before giving up.
-                                    b = t + 1
-                                    if nxtmin < b:
-                                        b = nxtmin
-                                    satm1 = bisect(rnd, [b], ri, rlen) - 1
-                                    if ri >= satm1:
-                                        break
-                                e = rnd[ri]
-                                pc = e[3]
-                                continue
-                            done = t + e[4][pc]
-                            e[3] = pc + 1
-                            e[0] = done
-                            napp(e)
-                            if done < nxtmin:
-                                nxtmin = done
-                                if done <= t:
-                                    # Stall-0 requeue: the no-preempt
-                                    # invariant is gone; bail to the
-                                    # fully-checked path.
-                                    satm1 = 0
-                                    t += 1
-                                    ri += 1
-                                    break
-                            t += 1
-                            ri += 1
-                            if ri == satm1:
-                                b = t + 1
-                                if nxtmin < b:
-                                    b = nxtmin
-                                satm1 = bisect(rnd, [b], ri, rlen) - 1
-                                if ri >= satm1:
-                                    break
-                            e = rnd[ri]
-                            pc = e[3]
-                        wi += t - t0w
-                    e = rnd[ri]
-                    if nxtmin <= e[0]:
-                        # nxtmin is exact and _INF when nxt is empty, so
-                        # this single compare is the full merge test.  A
-                        # handful of requeues slotting into a long round
-                        # tail is the common case on memory-heavy traces
-                        # (every DRAM return preempts the round), so
-                        # small batches are insorted in place instead of
-                        # re-sorting the whole remainder.
-                        if len(nxt) * 4 < rlen - ri:
-                            for x in nxt:
-                                insort(rnd, x, ri, rlen)
-                                rlen += 1
-                            nxt.clear()
-                            nxtmin = _INF
-                            n_rounds += 1
-                            if rnd[rlen - 1][0] <= t:
-                                satm1 = rlen - 1
-                            elif rlen - ri >= 8:
-                                satm1 = bisect(rnd, [t + 1], ri, rlen) - 1
-                            else:
-                                satm1 = 0
-                            e = rnd[ri]
-                        else:
-                            rnd = sorted(rnd[ri:] + nxt)
-                            nxt.clear()
-                            rnds[si] = rnd
-                            ri = 0
-                            rlen = len(rnd)
-                            nxtmin = _INF
-                            n_rounds += 1
-                            if rnd[rlen - 1][0] <= t:
-                                satm1 = rlen - 1
-                            elif rlen >= 8:
-                                satm1 = bisect(rnd, [t + 1], 0, rlen) - 1
-                            else:
-                                satm1 = 0
-                            e = rnd[0]
+                    e = wh[0]
                     r = e[0]
                     if r > t:
-                        # Idle skip: flush the contiguous issue streak
-                        # (its last cycle is t - 1).
+                        # Idle skip: flush the contiguous issue streak.
                         if wi:
                             issued += wi
                             per_sm_issued[si] += wi
                             wlast = t - 1
                             wi = 0
                         t = r
-                        # The jump forward may saturate more entries
-                        # (merge test above guarantees nxtmin > t here).
-                        lr = rnd[rlen - 1][0]
-                        if lr <= t and lr < nxtmin:
-                            satm1 = rlen - 1
-                        elif rlen - ri >= 8:
-                            satm1 = bisect(rnd, [t + 1], ri, rlen) - 1
-                        else:
-                            satm1 = 0
                     pc = e[3]
                     if pc == e[5]:
                         # ---- stop: next memory op or trace end -------
@@ -913,15 +784,12 @@ class GPUSimulator:
                                 push(event_heap, (t, si))
                                 n_pushes += 1
                                 break
-                            ri += 1
                             mr = w.mreq[mi]
-                            if mr == 1:
-                                done = mem_load1(si, w.maddr[mi], t)
-                                n_mem_fast += 1
-                            else:
-                                done = mem_load(
-                                    si, w.maddr[mi], w.mspread[mi], mr, t
-                                )
+                            done = mem_load(
+                                si, w.maddr[mi], w.mspread[mi], mr, t
+                            )
+                            n_mem += 1
+                            n_txn += mr
                             mi += 1
                             e[7] = mi
                             wi += 1
@@ -930,19 +798,39 @@ class GPUSimulator:
                                 e[3] = pc
                                 e[5] = w.pos[mi] if mi < w.m else e[6] - 1
                                 e[0] = done
-                                napp(e)
-                                if done < nxtmin:
-                                    nxtmin = done
-                                    if done <= t:
-                                        satm1 = 0
-                            else:
-                                tb = w.tb
-                                tb.live -= 1
-                                if tb.live == 0:
-                                    nxtmins[si] = nxtmin
-                                    retire_tb(tb, si, t + 1)
-                                    nxtmin = nxtmins[si]
+                                # In-place root update: if the new key
+                                # stays strictly below both children
+                                # (seq ties are impossible — seqs are
+                                # unique), heapreplace would sift the
+                                # entry straight back to the root and
+                                # leave the array untouched, so skip
+                                # it.  With sibling warps stalled on
+                                # DRAM this is the common case.
+                                n2 = len(wh)
+                                if n2 > 1:
+                                    bound = wh[1][0]
+                                    if n2 > 2:
+                                        b2 = wh[2][0]
+                                        if b2 < bound:
+                                            bound = b2
+                                    if done >= bound:
+                                        replace(wh, e)
+                                t += 1
+                                continue
+                            pop(wh)
+                            tb = w.tb
+                            tb.live -= 1
+                            if tb.live == 0:
+                                retire_tb(tb, si, t + 1)
+                                nxt = nxts[si]
+                                if nxt:
+                                    for x in nxt:
+                                        push(wh, x)
+                                    nxt.clear()
+                                    nxtmins[si] = _INF
                             t += 1
+                            if not wh:
+                                break
                             continue
                         # Final (non-memory) instruction; a barrier only
                         # when it retires the block's last live warp.
@@ -951,31 +839,48 @@ class GPUSimulator:
                             push(event_heap, (t, si))
                             n_pushes += 1
                             break
-                        ri += 1
+                        pop(wh)
                         wi += 1
                         tb.live -= 1
                         if tb.live == 0:
-                            nxtmins[si] = nxtmin
                             retire_tb(tb, si, t + 1)
-                            nxtmin = nxtmins[si]
+                            nxt = nxts[si]
+                            if nxt:
+                                for x in nxt:
+                                    push(wh, x)
+                                nxt.clear()
+                                nxtmins[si] = _INF
                         t += 1
+                        if not wh:
+                            break
                         continue
                     # ---- non-memory, non-final instruction -----------
                     done = t + e[4][pc]
-                    ri += 1
-                    if ri < rlen:
-                        bound = rnd[ri][0]
-                        if nxtmin < bound:
-                            bound = nxtmin
+                    pc1 = pc + 1
+                    # Segment bound: the pool's next-ready entry after e
+                    # is the smaller of the root's children (e is still
+                    # at the root).  The same bound doubles as the
+                    # in-place-root test: while the updated key stays
+                    # strictly below both children (seq ties impossible,
+                    # seqs are unique), heapreplace would return the
+                    # entry to the root without moving anything else,
+                    # so the heap is left untouched.
+                    n2 = len(wh)
+                    if n2 > 1:
+                        bound = wh[1][0]
+                        if n2 > 2:
+                            b2 = wh[2][0]
+                            if b2 < bound:
+                                bound = b2
                     else:
-                        bound = nxtmin  # _INF when nothing is queued
+                        bound = _INF
                     if done < bound:
                         w = e[2]
                         if w.batchable:
                             cum = w.cum
                             limit = e[5]
                             base = cum[pc]
-                            idx = pc + 1
+                            idx = pc1
                             if idx < limit:
                                 idx = bisect(
                                     cum, base + bound - t, idx + 1, limit
@@ -987,25 +892,22 @@ class GPUSimulator:
                                 done = t + cum[idx] - base
                                 e[3] = idx
                                 e[0] = done
-                                napp(e)
-                                if done < nxtmin:
-                                    nxtmin = done
+                                if done >= bound:
+                                    replace(wh, e)
                                 wi += u
                                 t = t + cum[idx - 1] - base + 1
                                 continue
-                    e[3] = pc + 1
+                        e[3] = pc1
+                        e[0] = done
+                        wi += 1
+                        t += 1
+                        continue
+                    e[3] = pc1
                     e[0] = done
-                    napp(e)
-                    if done < nxtmin:
-                        nxtmin = done
-                        if done <= t:
-                            satm1 = 0
+                    replace(wh, e)
                     wi += 1
                     t += 1
 
-                ris[si] = ri
-                nxtmins[si] = nxtmin
-                sats[si] = satm1
                 if wi:
                     issued += wi
                     per_sm_issued[si] += wi
@@ -1076,13 +978,11 @@ class GPUSimulator:
                         first = False
                         ri += 1
                         mr = w.mreq[mi]
-                        if mr == 1:
-                            done = mem_load1(si, w.maddr[mi], t)
-                            n_mem_fast += 1
-                        else:
-                            done = mem_load(
-                                si, w.maddr[mi], w.mspread[mi], mr, t
-                            )
+                        done = mem_load(
+                            si, w.maddr[mi], w.mspread[mi], mr, t
+                        )
+                        n_mem += 1
+                        n_txn += mr
                         mi += 1
                         e[7] = mi
                         issued += 1
@@ -1264,8 +1164,13 @@ class GPUSimulator:
             segment_insts=n_seg_insts,
             interning_hits=intern_hits,
             interning_misses=intern_misses,
-            mem_fast_hits=n_mem_fast,
             rounds_sorted=n_rounds,
+            mem_insts=n_mem,
+            mem_txns=n_txn,
+            mem_batches=mem.batches - mb0,
+            mem_dedup_txns=mem.dedup_txns - md0,
+            mem_batch_l1_hits=mem.batch_l1_hits - m1h0,
+            mem_batch_l2_hits=mem.batch_l2_hits - m2h0,
         )
         return LaunchResult(
             launch_id=launch.launch_id,

@@ -64,3 +64,43 @@ class TestCommands:
     def test_unknown_kernel_subset_rejected(self):
         with pytest.raises(SystemExit):
             main(["headline", "bogus"])
+
+    def test_simulate_basic(self, capsys):
+        assert main(["--scale", "0.02", "simulate", "stream"]) == 0
+        out = capsys.readouterr().out
+        assert "issued warp insts" in out
+        assert "wall cycles" in out
+        assert "warp IPC" in out
+        # Memory statistics only appear with --mem-stats.
+        assert "L1 hit rate" not in out
+
+    def test_simulate_mem_stats_output_shape(self, capsys):
+        assert main(
+            ["--scale", "0.02", "simulate", "stream", "--mem-stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        for field in (
+            "L1 hit rate",
+            "L2 hit rate",
+            "DRAM requests",
+            "DRAM row-hit rate",
+            "DRAM mean queue delay",
+        ):
+            assert field in out, field
+        # Rates render as percentages, delays in cycles.
+        assert "%" in out and "cycles" in out
+
+    def test_simulate_engine_and_front_end_flags(self, capsys):
+        assert main([
+            "--scale", "0.02", "simulate", "stream",
+            "--engine", "reference", "--mem-front-end", "reference",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "reference" in out
+
+    def test_simulate_launch_out_of_range(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["--scale", "0.02", "simulate", "stream",
+                 "--launch", "99999"]
+            )

@@ -3,10 +3,17 @@
 import pytest
 
 from repro.config import GPUConfig
-from repro.sim.memory import MemoryHierarchy
+from repro.sim.memory import MemoryHierarchy, ReferenceMemoryHierarchy
 
 
-def tiny_hierarchy():
+@pytest.fixture(
+    params=[MemoryHierarchy, ReferenceMemoryHierarchy],
+    ids=["fast", "reference"],
+)
+def tiny_hierarchy(request):
+    """Both front ends must satisfy the same behavioural contract
+    (bit-identity between them is proven separately in
+    test_sim_memory_fastpath.py)."""
     cfg = GPUConfig(
         num_sms=2,
         l1_kib=1,
@@ -19,41 +26,41 @@ def tiny_hierarchy():
         dram_channels=2,
         dram_banks=2,
     )
-    return MemoryHierarchy(cfg), cfg
+    return request.param(cfg), cfg
 
 
 class TestMemoryHierarchy:
-    def test_miss_then_l1_hit(self):
-        mem, cfg = tiny_hierarchy()
+    def test_miss_then_l1_hit(self, tiny_hierarchy):
+        mem, cfg = tiny_hierarchy
         first = mem.load(0, addr=0, spread=0, num_req=1, now=0)
         assert first > cfg.l1_latency  # went to DRAM
         second = mem.load(0, addr=0, spread=0, num_req=1, now=1000)
         assert second == 1000 + cfg.l1_latency
 
-    def test_l1s_are_private_l2_is_shared(self):
-        mem, cfg = tiny_hierarchy()
+    def test_l1s_are_private_l2_is_shared(self, tiny_hierarchy):
+        mem, cfg = tiny_hierarchy
         mem.load(0, addr=0, spread=0, num_req=1, now=0)
         # Other SM misses its L1 but hits the shared L2.
         done = mem.load(1, addr=0, spread=0, num_req=1, now=1000)
         assert done == 1000 + cfg.l2_latency
 
-    def test_multi_transaction_takes_slowest(self):
-        mem, cfg = tiny_hierarchy()
+    def test_multi_transaction_takes_slowest(self, tiny_hierarchy):
+        mem, cfg = tiny_hierarchy
         mem.load(0, addr=0, spread=0, num_req=1, now=0)  # warm line 0
         # One warm line + one cold line: completion bound by the miss.
         done = mem.load(0, addr=0, spread=4096, num_req=2, now=1000)
         assert done > 1000 + cfg.l1_latency
 
-    def test_transactions_walk_spread(self):
-        mem, _ = tiny_hierarchy()
+    def test_transactions_walk_spread(self, tiny_hierarchy):
+        mem, _ = tiny_hierarchy
         mem.load(0, addr=0, spread=128, num_req=4, now=0)
         # All four lines now L1-resident.
         l1 = mem.l1s[0]
         assert l1.contains(0) and l1.contains(128)
         assert l1.contains(256) and l1.contains(384)
 
-    def test_reset_clears_everything(self):
-        mem, cfg = tiny_hierarchy()
+    def test_reset_clears_everything(self, tiny_hierarchy):
+        mem, cfg = tiny_hierarchy
         mem.load(0, addr=0, spread=0, num_req=1, now=0)
         mem.reset()
         stats = mem.stats()
@@ -61,8 +68,8 @@ class TestMemoryHierarchy:
         done = mem.load(0, addr=0, spread=0, num_req=1, now=0)
         assert done > cfg.l2_latency  # cold again
 
-    def test_stats_keys(self):
-        mem, _ = tiny_hierarchy()
+    def test_stats_keys(self, tiny_hierarchy):
+        mem, _ = tiny_hierarchy
         mem.load(0, addr=0, spread=0, num_req=1, now=0)
         stats = mem.stats()
         for key in (
@@ -74,8 +81,8 @@ class TestMemoryHierarchy:
         ):
             assert key in stats
 
-    def test_completion_never_before_l1_latency(self):
-        mem, cfg = tiny_hierarchy()
+    def test_completion_never_before_l1_latency(self, tiny_hierarchy):
+        mem, cfg = tiny_hierarchy
         for i in range(20):
             done = mem.load(0, addr=i * 128, spread=0, num_req=1, now=i * 7)
             assert done >= i * 7 + cfg.l1_latency
