@@ -8,6 +8,7 @@ Every experiment in the evaluation can be regenerated from the shell:
 * ``headline`` — the full Fig. 9 + Fig. 10 sweep with geomeans;
 * ``breakdown`` — Fig. 11's inter/intra skipped-instruction shares;
 * ``sensitivity`` — Figs. 12-13 hardware-configuration sweep;
+* ``scaling`` — TBPoint error/sample size across workload scales;
 * ``model`` — Fig. 5's Markov/Monte-Carlo study;
 * ``table1`` — projected simulation times at measured throughput;
 * ``simulate KERNEL`` — one timing-simulator launch, with
@@ -20,6 +21,12 @@ Batch execution applies to every experiment command: ``--jobs N`` fans
 work out across N worker processes (0 = all CPUs, the default; results
 are bit-identical to ``--jobs 1``), and the one-time functional profiles
 are cached on disk across invocations unless ``--no-cache`` is given.
+Execution is fault tolerant (DESIGN.md §9): failed or crashed tasks
+retry up to ``--retries`` times, ``--task-timeout`` reclaims hung
+workers, the sweep commands (``headline``/``sensitivity``/``scaling``)
+checkpoint each completed kernel to a journal, and ``--resume`` picks a
+killed sweep back up without recomputing journaled work — all without
+changing results.
 """
 
 from __future__ import annotations
@@ -49,14 +56,24 @@ def _experiment(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(scale=args.scale, seed=args.seed)
 
 
-def _exec_config(args: argparse.Namespace) -> ExecutionConfig:
+def _exec_config(
+    args: argparse.Namespace, journal: bool = False
+) -> ExecutionConfig:
     """Execution knobs shared by every experiment command: ``--jobs 0``
     (the default) uses every CPU; the profile cache is on unless
-    ``--no-cache``."""
+    ``--no-cache``; failed tasks retry up to ``--retries`` times with
+    ``--task-timeout`` guarding against hung workers.  Sweep commands
+    (``headline``/``sensitivity``/``scaling``) pass ``journal=True`` so
+    completed kernels are checkpointed and ``--resume`` can recover a
+    killed sweep."""
     return ExecutionConfig(
         jobs=args.jobs,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        journal=journal,
+        resume=journal and args.resume,
     )
 
 
@@ -118,7 +135,7 @@ def cmd_run(args: argparse.Namespace) -> None:
 def cmd_headline(args: argparse.Namespace) -> None:
     experiment = _experiment(args)
     summary = run_fig9_fig10(
-        _kernels(args), experiment, exec_config=_exec_config(args)
+        _kernels(args), experiment, exec_config=_exec_config(args, journal=True)
     )
     comparisons, rows = [], []
     for c in summary.comparisons:
@@ -163,7 +180,9 @@ def cmd_breakdown(args: argparse.Namespace) -> None:
 def cmd_sensitivity(args: argparse.Namespace) -> None:
     experiment = _experiment(args)
     points = run_sensitivity(
-        _kernels(args), experiment=experiment, exec_config=_exec_config(args)
+        _kernels(args),
+        experiment=experiment,
+        exec_config=_exec_config(args, journal=True),
     )
     configs = [f"W{w}S{s}" for w, s in SENSITIVITY_CONFIGS]
     by_kernel: dict[str, dict] = {}
@@ -179,6 +198,28 @@ def cmd_sensitivity(args: argparse.Namespace) -> None:
             for k, cfgs in by_kernel.items()
         ],
         title="Figs. 12-13 — hardware sensitivity",
+    ))
+
+
+def cmd_scaling(args: argparse.Namespace) -> None:
+    from repro.analysis.scaling import run_scaling
+
+    points = run_scaling(
+        args.kernel,
+        scales=tuple(args.scales),
+        seed=args.seed,
+        exec_config=_exec_config(args, journal=True),
+    )
+    print(render_table(
+        ["scale", "blocks", "warp insts", "full IPC", "tbpoint IPC",
+         "error", "sample"],
+        [
+            (f"{p.scale:g}", str(p.num_blocks), f"{p.total_warp_insts:,}",
+             f"{p.full_ipc:.3f}", f"{p.tbpoint_ipc:.3f}",
+             f"{p.error:.2%}", f"{p.sample_size:.2%}")
+            for p in points
+        ],
+        title=f"Scale sensitivity — {args.kernel}",
     ))
 
 
@@ -304,6 +345,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the persistent functional-profile cache",
     )
     parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task timeout for batch execution: a worker attempt "
+             "running longer is declared hung, the pool is respawned "
+             "and the task retried (default: no timeout)",
+    )
+    parser.add_argument(
+        "--retries", type=_nonnegative_int, default=2, metavar="N",
+        help="extra attempts a failed/hung/crashed task gets in the "
+             "pool before one final in-process attempt (default 2)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume a killed sweep (headline/sensitivity/scaling) from "
+             "its checkpoint journal, skipping already-completed kernels",
+    )
+    parser.add_argument(
         "--cache-dir", default=None,
         help=f"profile cache directory (default: $TBPOINT_CACHE_DIR or "
              f"{default_cache_dir()})",
@@ -332,6 +389,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sensitivity", help="Figs. 12-13 hardware sweep")
     p.add_argument("kernels", nargs="*")
+
+    p = sub.add_parser(
+        "scaling", help="TBPoint error/sample size across workload scales"
+    )
+    p.add_argument("kernel", choices=ALL_KERNELS)
+    p.add_argument(
+        "--scales", type=float, nargs="+", metavar="S",
+        default=[0.0625, 0.125, 0.25, 0.5],
+        help="workload scales to sweep (default: 0.0625 0.125 0.25 0.5)",
+    )
 
     sub.add_parser("model", help="Fig. 5 Markov/Monte-Carlo study")
     sub.add_parser("table1", help="Table I projected simulation times")
@@ -369,6 +436,7 @@ _COMMANDS = {
     "headline": cmd_headline,
     "breakdown": cmd_breakdown,
     "sensitivity": cmd_sensitivity,
+    "scaling": cmd_scaling,
     "model": cmd_model,
     "table1": cmd_table1,
     "simulate": cmd_simulate,

@@ -23,6 +23,7 @@ from repro.core.estimates import geometric_mean, sampling_error
 from repro.core.pipeline import TBPointResult, run_tbpoint
 from repro.exec.cache import cached_profile
 from repro.exec.engine import DEFAULT_EXECUTION, ExecutionConfig, parallel_map
+from repro.exec.journal import open_sweep_journal
 from repro.model.montecarlo import IPCVariation, ipc_variation
 from repro.profiler.functional import KernelProfile, profile_kernel
 from repro.sim.gpu import GPUSimulator
@@ -80,6 +81,14 @@ class ComparisonSummary:
     """The full Fig. 9 + Fig. 10 sweep with headline geomeans."""
 
     comparisons: list[KernelComparison] = field(default_factory=list)
+    #: How the per-kernel fan-out actually executed (``path``/``workers``/
+    #: ``items`` plus the fault-handling counters ``attempts``/``retries``/
+    #: ``pool_respawns``/``timed_out``/``serial_fallback``, from
+    #: ``parallel_map``).  ``items`` counts only the kernels actually
+    #: computed this invocation — on ``--resume`` it excludes
+    #: journal-recovered kernels, which is how the chaos tests verify
+    #: that resumption skipped completed work.
+    exec_meta: dict = field(default_factory=dict)
 
     def geomean_errors(self) -> dict[str, float]:
         return {
@@ -164,6 +173,16 @@ def _comparison_task(task) -> KernelComparison:
     )
 
 
+def _inner_config(exec_config: ExecutionConfig, fanout: bool) -> ExecutionConfig:
+    """The execution config handed to per-task workers.  Fan-out tasks
+    run fully serial inside (pools never nest); either way the fault
+    plan and journaling stay with the sweep-level map that owns the
+    task indices."""
+    if fanout:
+        return exec_config.serial()
+    return exec_config.with_(fault_plan=None, journal=False, resume=False)
+
+
 def run_fig9_fig10(
     kernels: tuple[str, ...] = ALL_KERNELS,
     experiment: ExperimentConfig | None = None,
@@ -177,13 +196,34 @@ def run_fig9_fig10(
     across worker processes (each worker runs its kernel serially, so
     pools never nest); results are merged in kernel order, identical to
     the serial sweep.
+
+    With ``exec_config.journal`` each completed kernel is checkpointed
+    to the sweep journal the moment it finishes, and
+    ``exec_config.resume`` recovers journaled kernels from a killed
+    earlier run instead of recomputing them (CLI ``--resume``).
     """
+    experiment = experiment or ExperimentConfig()
+    gpu = gpu or GPUConfig()
+    sampling = sampling or SamplingConfig()
     exec_config = exec_config or DEFAULT_EXECUTION
     jobs = exec_config.effective_jobs
-    inner = exec_config.serial() if jobs > 1 and len(kernels) > 1 else exec_config
-    tasks = [(name, experiment, gpu, sampling, inner) for name in kernels]
-    summary = ComparisonSummary()
-    summary.comparisons.extend(parallel_map(_comparison_task, tasks, jobs))
+    inner = _inner_config(exec_config, fanout=jobs > 1 and len(kernels) > 1)
+    journal, done = open_sweep_journal(
+        "fig9_fig10", (tuple(kernels), experiment, gpu, sampling), exec_config
+    )
+    todo = [name for name in kernels if name not in done]
+    tasks = [(name, experiment, gpu, sampling, inner) for name in todo]
+    exec_meta: dict = {}
+    on_result = None
+    if journal is not None:
+        on_result = lambda i, result: journal.record(todo[i], result)  # noqa: E731
+    fresh = parallel_map(
+        _comparison_task, tasks, jobs,
+        meta=exec_meta, config=exec_config, on_result=on_result,
+    )
+    by_name = {**done, **dict(zip(todo, fresh))}
+    summary = ComparisonSummary(exec_meta=exec_meta)
+    summary.comparisons.extend(by_name[name] for name in kernels)
     return summary
 
 
@@ -209,9 +249,9 @@ def run_breakdown(
     result per kernel in input order."""
     exec_config = exec_config or DEFAULT_EXECUTION
     jobs = exec_config.effective_jobs
-    inner = exec_config.serial() if jobs > 1 and len(kernels) > 1 else exec_config
+    inner = _inner_config(exec_config, fanout=jobs > 1 and len(kernels) > 1)
     tasks = [(name, experiment, gpu, sampling, inner) for name in kernels]
-    return parallel_map(_breakdown_task, tasks, jobs)
+    return parallel_map(_breakdown_task, tasks, jobs, config=exec_config)
 
 
 # ----------------------------------------------------------------------
@@ -288,16 +328,29 @@ def run_sensitivity(
     ``run_tbpoint``) is redone, because the system occupancy changes.
     With ``exec_config.jobs > 1`` kernels fan out across worker
     processes; points are returned in (kernel, config) input order
-    either way.
+    either way.  With ``exec_config.journal`` each completed kernel
+    (all its hardware configs) is checkpointed, and
+    ``exec_config.resume`` skips journaled kernels (CLI ``--resume``).
     """
     experiment = experiment or ExperimentConfig()
     sampling = sampling or SamplingConfig()
     exec_config = exec_config or DEFAULT_EXECUTION
     jobs = exec_config.effective_jobs
-    inner = exec_config.serial() if jobs > 1 and len(kernels) > 1 else exec_config
-    tasks = [(name, configs, experiment, sampling, inner) for name in kernels]
-    per_kernel = parallel_map(_sensitivity_task, tasks, jobs)
-    return [point for points in per_kernel for point in points]
+    inner = _inner_config(exec_config, fanout=jobs > 1 and len(kernels) > 1)
+    journal, done = open_sweep_journal(
+        "sensitivity", (tuple(kernels), tuple(configs), experiment, sampling),
+        exec_config,
+    )
+    todo = [name for name in kernels if name not in done]
+    tasks = [(name, configs, experiment, sampling, inner) for name in todo]
+    on_result = None
+    if journal is not None:
+        on_result = lambda i, points: journal.record(todo[i], points)  # noqa: E731
+    fresh = parallel_map(
+        _sensitivity_task, tasks, jobs, config=exec_config, on_result=on_result
+    )
+    by_name = {**done, **dict(zip(todo, fresh))}
+    return [point for name in kernels for point in by_name[name]]
 
 
 # ----------------------------------------------------------------------

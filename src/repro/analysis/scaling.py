@@ -17,6 +17,7 @@ from repro.core.estimates import sampling_error
 from repro.core.pipeline import run_tbpoint
 from repro.exec.cache import cached_profile
 from repro.exec.engine import DEFAULT_EXECUTION, ExecutionConfig, parallel_map
+from repro.exec.journal import open_sweep_journal
 from repro.sim import GPUSimulator
 from repro.workloads import get_workload
 
@@ -76,17 +77,34 @@ def run_scaling(
     linearly with the largest scale; keep the list modest for big
     kernels.  With ``exec_config.jobs > 1`` the scales fan out across
     worker processes (each one serial inside); points come back in
-    input-scale order regardless.
+    input-scale order regardless.  With ``exec_config.journal`` each
+    completed scale point is checkpointed, and ``exec_config.resume``
+    skips journaled scales (CLI ``--resume``).
     """
     gpu = gpu or GPUConfig()
     sampling = sampling or SamplingConfig()
     exec_config = exec_config or DEFAULT_EXECUTION
     jobs = exec_config.effective_jobs
-    inner = exec_config.serial() if jobs > 1 and len(scales) > 1 else exec_config
+    if jobs > 1 and len(scales) > 1:
+        inner = exec_config.serial()
+    else:
+        inner = exec_config.with_(fault_plan=None, journal=False, resume=False)
+    journal, done = open_sweep_journal(
+        "scaling", (kernel_name, tuple(scales), seed, gpu, sampling),
+        exec_config,
+    )
+    todo = [scale for scale in scales if repr(scale) not in done]
     tasks = [
-        (kernel_name, scale, seed, gpu, sampling, inner) for scale in scales
+        (kernel_name, scale, seed, gpu, sampling, inner) for scale in todo
     ]
-    return parallel_map(_scale_task, tasks, jobs)
+    on_result = None
+    if journal is not None:
+        on_result = lambda i, point: journal.record(repr(todo[i]), point)  # noqa: E731
+    fresh = parallel_map(
+        _scale_task, tasks, jobs, config=exec_config, on_result=on_result
+    )
+    by_scale = {**done, **{repr(s): p for s, p in zip(todo, fresh)}}
+    return [by_scale[repr(scale)] for scale in scales]
 
 
 __all__ = ["ScalePoint", "run_scaling"]

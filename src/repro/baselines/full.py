@@ -118,7 +118,9 @@ def run_full(
     exec_meta: dict = {}
     if jobs > 1 and kernel.num_launches > 1:
         tasks = [(l, gpu, unit_insts, record_bbv) for l in kernel.launches]
-        outcomes = parallel_map(_full_launch_task, tasks, jobs, meta=exec_meta)
+        outcomes = parallel_map(
+            _full_launch_task, tasks, jobs, meta=exec_meta, config=exec_config
+        )
     else:
         exec_meta.update(
             path="serial", workers=1, items=kernel.num_launches,

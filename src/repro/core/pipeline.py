@@ -188,7 +188,9 @@ def run_tbpoint(
             (kernel.launches[lid], profile.launches[lid], gpu, sampling, use_intra)
             for lid in sim_launches
         ]
-        outcomes = parallel_map(_rep_launch_task, tasks, jobs, meta=exec_meta)
+        outcomes = parallel_map(
+            _rep_launch_task, tasks, jobs, meta=exec_meta, config=exec_config
+        )
     else:
         exec_meta.update(
             path="serial", workers=1, items=len(sim_launches),

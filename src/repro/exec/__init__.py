@@ -1,18 +1,28 @@
-"""Batch execution engine: parallel fan-out + persistent profile cache.
+"""Batch execution engine: fault-tolerant parallel fan-out, persistent
+profile cache, and sweep checkpoint journal.
 
-Two orthogonal services behind one configuration object
+Three orthogonal services behind one configuration object
 (:class:`ExecutionConfig`):
 
-* :func:`parallel_map` — deterministic process-pool fan-out (results
-  always in input order, bit-identical to the serial path);
+* :func:`parallel_map` — deterministic, fault-tolerant process-pool
+  fan-out (results always in input order, bit-identical to the serial
+  path, with per-task timeouts, bounded retries, broken-pool respawn
+  and per-task serial fallback — DESIGN.md §9);
 * :class:`ProfileCache` — a content-addressed on-disk store of the
   one-time functional profiles, so ``profile_kernel`` runs once per
-  kernel trace *ever* (the profile is hardware-independent, Sec. V-C).
+  kernel trace *ever* (the profile is hardware-independent, Sec. V-C);
+* :class:`SweepJournal` — an append-only checkpoint record of completed
+  sweep tasks, so a killed ``run_fig9_fig10`` / ``run_sensitivity`` /
+  ``run_scaling`` resumes (CLI ``--resume``) instead of restarting.
+
+:mod:`repro.exec.faults` provides the deterministic fault-injection
+harness (:class:`FaultPlan`) that the chaos tests drive through all of
+the above.
 
 ``run_tbpoint``, ``run_full`` and every experiment driver accept an
 ``exec_config``; the CLI exposes it as ``--jobs`` / ``--no-cache`` /
-``--cache-dir`` plus the ``repro cache {info,clear}`` maintenance
-commands.
+``--cache-dir`` / ``--task-timeout`` / ``--retries`` / ``--resume``
+plus the ``repro cache {info,clear}`` maintenance commands.
 """
 
 from repro.exec.cache import (
@@ -24,6 +34,7 @@ from repro.exec.cache import (
     kernel_fingerprint,
 )
 from repro.exec.engine import (
+    BACKOFF_CAP,
     DEFAULT_EXECUTION,
     MIN_PARALLEL_ITEMS,
     ExecutionConfig,
@@ -31,11 +42,27 @@ from repro.exec.engine import (
     default_jobs,
     parallel_map,
 )
+from repro.exec.faults import (
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    crash_plan,
+    hang_plan,
+    raise_plan,
+)
+from repro.exec.journal import (
+    JOURNAL_FORMAT_VERSION,
+    SweepJournal,
+    default_journal_dir,
+    open_sweep_journal,
+    sweep_key,
+)
 
 __all__ = [
     "ExecutionConfig",
     "DEFAULT_EXECUTION",
     "MIN_PARALLEL_ITEMS",
+    "BACKOFF_CAP",
     "default_jobs",
     "parallel_map",
     "chunked",
@@ -45,4 +72,15 @@ __all__ = [
     "kernel_cache_key",
     "kernel_fingerprint",
     "CACHE_FORMAT_VERSION",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
+    "crash_plan",
+    "hang_plan",
+    "raise_plan",
+    "SweepJournal",
+    "JOURNAL_FORMAT_VERSION",
+    "default_journal_dir",
+    "open_sweep_journal",
+    "sweep_key",
 ]

@@ -265,18 +265,40 @@ class ProfileCache:
             return {}
 
     def _bump(self, hits: int = 0, misses: int = 0) -> None:
-        """Best-effort cumulative counters (atomic replace; concurrent
-        bumps may drop increments, which only under-reports — the
-        `misses stayed at N` invariant rerun checks rely on holds)."""
-        stats = self._read_stats()
-        stats["hits"] = int(stats.get("hits", 0)) + hits
-        stats["misses"] = int(stats.get("misses", 0)) + misses
-        tmp = self.stats_path.with_name(f".stats.{os.getpid()}.tmp")
+        """Cumulative counters.  The read-modify-write cycle is guarded
+        by an advisory ``flock`` on a sidecar lock file so concurrent
+        workers never lose increments (regression: the multiprocess
+        hammer in ``tests/test_exec_cache.py``); the write itself stays
+        atomic (unique tmp + rename) so readers never see a torn file.
+        Best-effort throughout: an unwritable or lock-less location
+        skips counting rather than failing the run."""
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            with open(tmp, "w") as fh:
-                json.dump(stats, fh)
-            os.replace(tmp, self.stats_path)
+            lock_path = self.root / ".stats.lock"
+            with open(lock_path, "a") as lock:
+                try:
+                    import fcntl
+
+                    fcntl.flock(lock, fcntl.LOCK_EX)
+                except (ImportError, OSError):
+                    pass  # no locking available: degrade to best-effort
+                stats = self._read_stats()
+                stats["hits"] = int(stats.get("hits", 0)) + hits
+                stats["misses"] = int(stats.get("misses", 0)) + misses
+                tmp = self.stats_path.with_name(
+                    f".stats.{os.getpid()}.{id(stats) & 0xFFFF:x}.tmp"
+                )
+                try:
+                    with open(tmp, "w") as fh:
+                        json.dump(stats, fh)
+                    os.replace(tmp, self.stats_path)
+                finally:
+                    if tmp.exists():
+                        try:
+                            tmp.unlink()
+                        except OSError:
+                            pass
+                # The lock releases when ``lock`` closes.
         except OSError:
             pass
 

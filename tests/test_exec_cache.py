@@ -189,12 +189,29 @@ class TestCorruption:
         cache.profile(kernel)  # bumping over garbage must not crash
         assert json.loads(cache.stats_path.read_text())["hits"] == 1
 
+    def test_unreadable_entry_recomputed(self, cache, kernel):
+        """An entry that exists but cannot be opened as a file (here: a
+        directory squatting on its path — chmod is useless under root)
+        is treated as a miss and the profile recomputed."""
+        key, path = self._entry(cache, kernel)
+        path.unlink()
+        path.mkdir()  # open() on it raises IsADirectoryError
+        assert cache.get(key, kernel.name) is None
+        again = cache.profile(kernel)
+        assert_profiles_equal(again, profile_kernel(kernel))
+
 
 def _writer(root: str, seed: int) -> None:
     cache = ProfileCache(root)
     kernel = make_uniform_kernel(num_launches=2, blocks_per_launch=24)
     for _ in range(3):
         cache.profile(kernel)
+
+
+def _bumper(root: str, count: int) -> None:
+    cache = ProfileCache(root)
+    for _ in range(count):
+        cache._bump(hits=1, misses=1)
 
 
 @pytest.mark.slow
@@ -219,3 +236,23 @@ class TestConcurrentWriters:
         assert_profiles_equal(loaded, profile_kernel(kernel))
         # No stray temp files left behind.
         assert not list(cache.profiles_dir.glob("*.tmp"))
+
+    def test_bump_hammer_loses_no_increments(self, tmp_path):
+        """The stats counters use read-modify-write; without the flock
+        guard, racing processes clobber each other and counts come up
+        short.  Four processes x 25 bumps each must land exactly."""
+        root = str(tmp_path / "cache")
+        nprocs, nbumps = 4, 25
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_bumper, args=(root, nbumps))
+            for _ in range(nprocs)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        info = ProfileCache(root).info()
+        assert info["hits"] == nprocs * nbumps
+        assert info["misses"] == nprocs * nbumps

@@ -176,7 +176,7 @@ class TestDegradeToSerial:
         fn = lambda x: x + 1  # noqa: E731 — deliberately unpicklable
         parallel_map(fn, list(range(10)), jobs=4, meta=meta)
         assert meta["path"] == "serial"
-        assert meta["reason"] == "fn or items not picklable"
+        assert meta["reason"] == "fn or first item not picklable"
 
     def test_parallel_path_records_meta(self, monkeypatch):
         import repro.exec.engine as engine
