@@ -15,7 +15,9 @@ Every experiment in the evaluation can be regenerated from the shell:
   ``--mem-stats`` for the memory-hierarchy statistics (L1/L2 hit
   rates, DRAM row-hit rate, mean queue delay);
 * ``cache info`` / ``cache clear`` — persistent profile-cache status
-  and maintenance.
+  and maintenance;
+* ``lint`` — static determinism / process-safety / hot-loop /
+  oracle-parity checks over the source tree (DESIGN.md §10).
 
 Batch execution applies to every experiment command: ``--jobs N`` fans
 work out across N worker processes (0 = all CPUs, the default; results
@@ -303,6 +305,15 @@ def cmd_simulate(args: argparse.Namespace) -> None:
     ))
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static determinism/process-safety/hot-loop/oracle-parity checks
+    (DESIGN.md §10); flags are shared with ``python -m
+    repro.devtools.lint`` via ``configure_parser``."""
+    from repro.devtools.lint.cli import run as lint_run
+
+    return lint_run(args)
+
+
 def cmd_table1(args: argparse.Namespace) -> None:
     rows = run_table1()
     print(render_table(
@@ -427,6 +438,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("cache", help="persistent profile-cache maintenance")
     p.add_argument("action", choices=["info", "clear"])
+
+    from repro.devtools.lint.cli import configure_parser as _configure_lint
+
+    p = sub.add_parser(
+        "lint",
+        help="static determinism/process-safety/hot-loop/oracle-parity "
+             "checks (DESIGN.md §10)",
+    )
+    _configure_lint(p)
     return parser
 
 
@@ -441,10 +461,11 @@ _COMMANDS = {
     "table1": cmd_table1,
     "simulate": cmd_simulate,
     "cache": cmd_cache,
+    "lint": cmd_lint,
 }
 
 
-def _run_profiled(command, args: argparse.Namespace) -> None:
+def _run_profiled(command, args: argparse.Namespace):
     """Run ``command`` under cProfile and dump the hottest functions to
     stderr (stdout stays clean for the command's own tables)."""
     import cProfile
@@ -453,7 +474,7 @@ def _run_profiled(command, args: argparse.Namespace) -> None:
     profiler = cProfile.Profile()
     profiler.enable()
     try:
-        command(args)
+        return command(args)
     finally:
         profiler.disable()
         stats = pstats.Stats(profiler, stream=sys.stderr)
@@ -467,13 +488,13 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.profile:
-            _run_profiled(_COMMANDS[args.command], args)
+            rc = _run_profiled(_COMMANDS[args.command], args)
         else:
-            _COMMANDS[args.command](args)
+            rc = _COMMANDS[args.command](args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early; not an error.
         return 0
-    return 0
+    return rc or 0
 
 
 if __name__ == "__main__":

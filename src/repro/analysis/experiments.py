@@ -25,7 +25,7 @@ from repro.exec.cache import cached_profile
 from repro.exec.engine import DEFAULT_EXECUTION, ExecutionConfig, parallel_map
 from repro.exec.journal import open_sweep_journal
 from repro.model.montecarlo import IPCVariation, ipc_variation
-from repro.profiler.functional import KernelProfile, profile_kernel
+from repro.profiler.functional import KernelProfile
 from repro.sim.gpu import GPUSimulator
 from repro.workloads import ALL_KERNELS, benchmark_info, get_workload
 

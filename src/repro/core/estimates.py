@@ -12,6 +12,7 @@ when SMs are load-balanced.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -135,7 +136,7 @@ def sampling_error(estimated_ipc: float, full_ipc: float) -> float:
     return abs(estimated_ipc - full_ipc) / full_ipc
 
 
-def geometric_mean(values) -> float:
+def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean used for the headline aggregates; zero values are
     floored at a tiny epsilon so a perfect kernel cannot zero the mean."""
     arr = np.maximum(np.asarray(list(values), dtype=np.float64), 1e-9)

@@ -100,7 +100,7 @@ def plan_inter_launch(
 def plan_inter_launch_kmeans(
     profile: KernelProfile,
     max_k: int = 10,
-    rng=None,
+    rng: np.random.Generator | None = None,
 ) -> InterLaunchPlan:
     """The design alternative the paper rejects (Section III): cluster
     the Eq. 2 features with k-means, choosing k by BIC, instead of

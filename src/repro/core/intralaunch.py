@@ -95,7 +95,7 @@ class RegionSampler:
         config: SamplingConfig | None = None,
         occupancy: int = 1,
         cluster_of_region: dict[int, int] | None = None,
-    ):
+    ) -> None:
         if len(region_of) != len(block_warp_insts):
             raise ValueError("region_of and block_warp_insts length mismatch")
         if occupancy < 1:

@@ -117,7 +117,7 @@ def simulate_representative(
     return table, sampler, result
 
 
-def _rep_launch_task(task) -> tuple:
+def _rep_launch_task(task: tuple) -> tuple:
     """Picklable worker: simulate one representative launch in a fresh
     simulator (process-pool entry point)."""
     launch, launch_profile, gpu, sampling, use_intra = task

@@ -1,0 +1,76 @@
+"""Baseline suppression: let legacy findings age out without blocking CI.
+
+A baseline file records accepted findings as ``path::RULE::message``
+keys with occurrence counts — deliberately line-number-free, so code
+moving above or below a baselined finding does not un-baseline it.  A
+lint run then splits its findings into *baselined* (matched, reported
+but non-fatal under ``--error-on-new``) and *new* (unmatched, always
+fatal).  Regenerate with ``repro lint --write-baseline``; every
+baselined entry should carry a justification in the commit that adds
+it.
+
+Format (``lint-baseline.json``)::
+
+    {"version": 1, "entries": {"<path>::<RULE>::<message>": <count>}}
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.devtools.lint.core import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename, looked up relative to the lint root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def load_baseline(path: Path | None) -> Counter:
+    """Baseline entry counts; an absent/corrupt file is an empty
+    baseline (strictest behaviour — everything is new)."""
+    if path is None:
+        return Counter()
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+        entries = data["entries"]
+        if int(data.get("version", 0)) != BASELINE_VERSION:
+            return Counter()
+        return Counter(
+            {str(k): int(v) for k, v in entries.items() if int(v) > 0}
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return Counter()
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> int:
+    """Write a baseline accepting exactly the given findings; returns
+    the number of distinct entries written."""
+    counts = Counter(f.baseline_key for f in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": {key: counts[key] for key in sorted(counts)},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return len(counts)
+
+
+def split_by_baseline(
+    findings: list[Finding], baseline: Counter
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into (new, baselined).  The first ``n``
+    occurrences of a key with baseline count ``n`` are baselined (in
+    sorted report order); any beyond that are new."""
+    budget = Counter(baseline)
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in sorted(findings, key=lambda f: f.sort_key):
+        if budget[finding.baseline_key] > 0:
+            budget[finding.baseline_key] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old

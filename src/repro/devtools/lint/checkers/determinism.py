@@ -1,0 +1,235 @@
+"""Determinism checker: sources of run-to-run nondeterminism.
+
+The simulator, clustering, model and trace subsystems must be pure
+functions of their inputs — the bit-identity contracts (compact engine
+vs reference, fast memory front end vs oracle, parallel vs serial
+sweeps) are only meaningful if nothing in those subsystems reads the
+wall clock, global RNG state, the process environment or filesystem
+enumeration order.
+
+Rules
+-----
+DET001
+    Wall-clock read (``time.time``/``monotonic``/``perf_counter``,
+    ``datetime.now``, ...) inside the deterministic subsystems
+    (``sim/``, ``core/``, ``cluster/``, ``trace/``).
+DET002
+    Unseeded or global-state RNG inside the deterministic subsystems:
+    any ``random`` module-level function, ``random.Random()`` /
+    ``np.random.default_rng()`` with no seed, or the legacy
+    ``np.random.*`` global convenience functions.  Seeded constructions
+    (``default_rng(seed)``, ``Generator(Philox(key=...))``) pass.
+DET003
+    Result-feeding iteration over a ``set`` expression (set literal,
+    set comprehension, ``set(...)``/``frozenset(...)`` call) without an
+    explicit ordering — Python set iteration order depends on insertion
+    history and hash salting of the interpreter.  Applies everywhere.
+DET004
+    ``os.environ`` / ``os.getenv`` read inside the deterministic
+    subsystems: configuration must flow in through ``config`` objects,
+    not ambient process state.
+DET005
+    Filesystem-order dependence: ``os.listdir``/``os.scandir``/
+    ``glob.glob`` or a ``.glob``/``.rglob``/``.iterdir`` method call
+    whose result is not immediately passed through ``sorted(...)``.
+    Directory enumeration order is filesystem-specific.  Applies
+    everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.core import (
+    Checker,
+    Finding,
+    ParsedFile,
+    import_map,
+    qualified_name,
+    register,
+)
+
+#: Directories whose modules must be deterministic pure functions.
+DETERMINISTIC_DIRS = ("sim", "core", "cluster", "trace")
+
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.localtime", "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+#: Seeded-RNG constructors: fine *with* an explicit seed argument.
+_SEEDED_CTORS = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+}
+
+#: Always-deterministic RNG machinery (explicit bit generators require
+#: key/seed material to be useful; flagging them would be noise).
+_RNG_OK = {
+    "numpy.random.Generator",
+    "numpy.random.Philox",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.MT19937",
+    "numpy.random.SFC64",
+    "numpy.random.BitGenerator",
+}
+
+_FS_FUNCTIONS = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+_FS_METHODS = {"glob", "rglob", "iterdir"}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class DeterminismChecker(Checker):
+    name = "determinism"
+    rules = {
+        "DET001": "wall-clock read in a deterministic subsystem",
+        "DET002": "unseeded or global-state RNG in a deterministic subsystem",
+        "DET003": "iteration over a set expression without explicit ordering",
+        "DET004": "os.environ/os.getenv read in a deterministic subsystem",
+        "DET005": "filesystem enumeration order used without sorted(...)",
+    }
+
+    def check_file(self, pf: ParsedFile) -> Iterator[Finding]:
+        imports = import_map(pf.tree)
+        restricted = pf.in_dirs(DETERMINISTIC_DIRS)
+        sorted_args: set[int] = set()  # ids of call nodes wrapped in sorted()
+
+        for node in ast.walk(pf.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sorted"
+            ):
+                for arg in node.args:
+                    sorted_args.add(id(arg))
+
+        for node in ast.walk(pf.tree):
+            if isinstance(node, ast.Call):
+                qual = qualified_name(node.func, imports)
+                if qual is not None:
+                    yield from self._check_call(pf, node, qual, restricted,
+                                                sorted_args)
+                # Method-shaped fs enumeration (``x.glob(...)``) must be
+                # checked even when the receiver resolves to a dotted
+                # name — skipping only the module-level _FS_FUNCTIONS
+                # forms, which _check_call already reported.
+                if isinstance(node.func, ast.Attribute) and (
+                    qual is None or qual not in _FS_FUNCTIONS
+                ):
+                    yield from self._check_fs_method(pf, node, sorted_args)
+            elif isinstance(node, ast.Attribute) and restricted:
+                # os.environ read (including subscripts / .get chains).
+                if (
+                    node.attr == "environ"
+                    and isinstance(node.value, ast.Name)
+                    and imports.get(node.value.id, node.value.id) == "os"
+                ):
+                    yield self._finding(
+                        pf, node, "DET004",
+                        "os.environ read in a deterministic subsystem; "
+                        "thread configuration through config objects instead",
+                    )
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                iter_expr = node.iter
+                if _is_set_expr(iter_expr):
+                    yield self._finding(
+                        pf, iter_expr, "DET003",
+                        "iterating a set: order depends on insertion history "
+                        "and hash salting; wrap in sorted(...) or use an "
+                        "ordered container",
+                    )
+
+    # ------------------------------------------------------------------
+    def _check_call(
+        self,
+        pf: ParsedFile,
+        node: ast.Call,
+        qual: str,
+        restricted: bool,
+        sorted_args: set[int],
+    ) -> Iterator[Finding]:
+        if restricted and qual in _WALL_CLOCK:
+            yield self._finding(
+                pf, node, "DET001",
+                f"wall-clock read {qual}() in a deterministic subsystem; "
+                "timing must come from simulated cycles, not the host clock",
+            )
+            return
+        if restricted:
+            finding = self._rng_finding(pf, node, qual)
+            if finding is not None:
+                yield finding
+                return
+        if restricted and qual == "os.getenv":
+            yield self._finding(
+                pf, node, "DET004",
+                "os.getenv read in a deterministic subsystem; thread "
+                "configuration through config objects instead",
+            )
+            return
+        if qual in _FS_FUNCTIONS and id(node) not in sorted_args:
+            yield self._finding(
+                pf, node, "DET005",
+                f"{qual}() enumeration order is filesystem-specific; wrap "
+                "the call in sorted(...)",
+            )
+
+    def _rng_finding(
+        self, pf: ParsedFile, node: ast.Call, qual: str
+    ) -> Finding | None:
+        if qual in _RNG_OK:
+            return None
+        if qual in _SEEDED_CTORS:
+            if not node.args and not node.keywords:
+                return Finding(
+                    pf.rel, node.lineno, node.col_offset, "DET002",
+                    f"{qual}() without a seed is entropy-seeded; pass a "
+                    "seed derived from config",
+                    self.name,
+                )
+            return None
+        if qual.startswith("numpy.random.") or qual.startswith("random."):
+            return Finding(
+                pf.rel, node.lineno, node.col_offset, "DET002",
+                f"global-state RNG call {qual}(); use a Generator seeded "
+                "from config (see workloads/base.py's Philox keying)",
+                self.name,
+            )
+        return None
+
+    def _check_fs_method(
+        self, pf: ParsedFile, node: ast.Call, sorted_args: set[int]
+    ) -> Iterator[Finding]:
+        assert isinstance(node.func, ast.Attribute)
+        if node.func.attr in _FS_METHODS and id(node) not in sorted_args:
+            yield self._finding(
+                pf, node, "DET005",
+                f".{node.func.attr}() enumeration order is "
+                "filesystem-specific; wrap the call in sorted(...)",
+            )
+
+    def _finding(
+        self, pf: ParsedFile, node: ast.AST, rule: str, message: str
+    ) -> Finding:
+        return Finding(
+            pf.rel,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            rule,
+            message,
+            self.name,
+        )

@@ -1,0 +1,193 @@
+"""Hot-loop hygiene checker: per-iteration waste in marked hot code.
+
+The compact engine's issue loop and the batched memory front end are
+the two measured hot paths of the simulator (DESIGN.md §7-§8); both
+follow the same discipline — hoist attribute lookups to locals before
+the loop, allocate nothing per iteration, keep exception handling
+outside the loop body.  This checker machine-checks that discipline
+inside regions explicitly marked ``# lint: hot`` (on a ``def``, ``for``
+or ``while`` header line, or on a comment line directly above it).
+
+Rules (all scoped to loops inside hot regions)
+-----
+HOT001
+    The same ``name.attr`` looked up two or more times per iteration
+    on a name the loop body never rebinds: hoist it to a local before
+    the loop (``mem_load = mem.load`` style).
+HOT002
+    Per-iteration allocation: a list/dict/set display, a comprehension,
+    or a call to ``list``/``dict``/``set``/``sorted`` or a numpy array
+    constructor inside the loop body.  Tuples are exempt (cheap,
+    required for heap entries).
+HOT003
+    ``try``/``except`` inside the loop body: Python 3.10 pays setup
+    cost per entry, and exception handling in a hot loop usually means
+    a check that belongs outside it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.core import (
+    Checker,
+    Finding,
+    ParsedFile,
+    import_map,
+    register,
+)
+
+_ALLOC_CALLS = {"list", "dict", "set", "sorted", "frozenset"}
+_NUMPY_ALLOC_ATTRS = {
+    "zeros", "empty", "ones", "full", "array", "arange", "asarray",
+    "concatenate", "stack", "vstack", "hstack", "bincount", "linspace",
+}
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _body_walk(stmts: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk loop-body statements without descending into nested
+    function/class definitions (they run in their own scope)."""
+    stack: list[ast.AST] = list(stmts)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _FUNCTION_NODES + (ast.ClassDef,)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _assigned_names(stmts: list[ast.stmt]) -> set[str]:
+    """Names (re)bound anywhere in the loop body — attribute lookups on
+    these are not hoistable, the object may change per iteration."""
+    names: set[str] = set()
+    for node in _body_walk(stmts):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            names.add(node.id)
+    return names
+
+
+@register
+class HotLoopChecker(Checker):
+    name = "hot-loop"
+    rules = {
+        "HOT001": "repeated attribute lookup per iteration of a hot loop",
+        "HOT002": "allocation inside a hot loop body",
+        "HOT003": "try/except inside a hot loop body",
+    }
+
+    def check_file(self, pf: ParsedFile) -> Iterator[Finding]:
+        if not pf.hot_lines:
+            return
+        imports = import_map(pf.tree)
+        numpy_aliases = {
+            local for local, origin in imports.items() if origin == "numpy"
+        }
+        seen: set[tuple[int, int, str]] = set()
+        for loop in self._hot_loops(pf):
+            for finding in self._check_loop(pf, loop, numpy_aliases):
+                key = (finding.line, finding.col, finding.rule)
+                if key not in seen:
+                    seen.add(key)
+                    yield finding
+
+    # ------------------------------------------------------------------
+    def _hot_loops(self, pf: ParsedFile) -> Iterator[ast.For | ast.While]:
+        """Every loop inside a hot region: a marked loop (and the loops
+        nested in it), or every loop of a marked function."""
+        for node in ast.walk(pf.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if pf.is_hot_marked(node):
+                    for sub in ast.walk(node):
+                        if isinstance(sub, (ast.For, ast.While)):
+                            yield sub
+            elif isinstance(node, (ast.For, ast.While)):
+                if pf.is_hot_marked(node):
+                    for sub in ast.walk(node):
+                        if isinstance(sub, (ast.For, ast.While)):
+                            yield sub
+
+    # ------------------------------------------------------------------
+    def _check_loop(
+        self,
+        pf: ParsedFile,
+        loop: ast.For | ast.While,
+        numpy_aliases: set[str],
+    ) -> Iterator[Finding]:
+        body = loop.body
+        assigned = _assigned_names(body)
+        if isinstance(loop, ast.For):
+            # The loop target is rebound every iteration by definition.
+            for node in ast.walk(loop.target):
+                if isinstance(node, ast.Name):
+                    assigned.add(node.id)
+
+        attr_sites: dict[tuple[str, str], list[ast.Attribute]] = {}
+        for node in _body_walk(body):
+            if isinstance(node, ast.Try):
+                yield Finding(
+                    pf.rel, node.lineno, node.col_offset, "HOT003",
+                    "try/except inside a hot loop body: per-entry setup "
+                    "cost; move exception handling outside the loop",
+                    self.name,
+                )
+            elif isinstance(node, (ast.List, ast.Dict, ast.Set,
+                                   ast.ListComp, ast.DictComp, ast.SetComp,
+                                   ast.GeneratorExp)):
+                kind = type(node).__name__
+                yield Finding(
+                    pf.rel, node.lineno, node.col_offset, "HOT002",
+                    f"{kind} allocated inside a hot loop body; hoist or "
+                    "reuse a preallocated container",
+                    self.name,
+                )
+            elif isinstance(node, ast.Call):
+                yield from self._check_alloc_call(pf, node, numpy_aliases)
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                if isinstance(node.value, ast.Name):
+                    base = node.value.id
+                    if base not in assigned and base not in numpy_aliases:
+                        attr_sites.setdefault(
+                            (base, node.attr), []
+                        ).append(node)
+
+        for (base, attr), sites in attr_sites.items():
+            if len(sites) < 2:
+                continue
+            first = min(sites, key=lambda n: (n.lineno, n.col_offset))
+            yield Finding(
+                pf.rel, first.lineno, first.col_offset, "HOT001",
+                f"'{base}.{attr}' looked up {len(sites)} times per "
+                f"iteration of the hot loop; hoist it to a local before "
+                "the loop",
+                self.name,
+            )
+
+    def _check_alloc_call(
+        self, pf: ParsedFile, node: ast.Call, numpy_aliases: set[str]
+    ) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _ALLOC_CALLS:
+            yield Finding(
+                pf.rel, node.lineno, node.col_offset, "HOT002",
+                f"{func.id}() call allocates inside a hot loop body; "
+                "hoist it or restructure the loop",
+                self.name,
+            )
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in numpy_aliases
+            and func.attr in _NUMPY_ALLOC_ATTRS
+        ):
+            yield Finding(
+                pf.rel, node.lineno, node.col_offset, "HOT002",
+                f"numpy array construction ({func.value.id}.{func.attr}) "
+                "inside a hot loop body; preallocate outside the loop",
+                self.name,
+            )

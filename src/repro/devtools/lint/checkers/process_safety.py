@@ -1,0 +1,201 @@
+"""Process-safety checker: what must survive a pickle round-trip.
+
+The batch execution engine ships tasks to worker processes; anything
+handed to ``parallel_map``/``submit`` — and anything reachable from a
+shipped item, like a :class:`LaunchTrace`'s block ``factory`` or a
+:class:`FaultPlan` — must be picklable.  Lambdas, closures and
+locally-defined functions/classes are not, and the failure shows up
+only at runtime (or worse, silently routes the whole sweep down the
+serial fallback).
+
+Rules
+-----
+PROC001
+    A lambda or locally-defined function passed to ``parallel_map`` /
+    ``.submit``.  These cannot cross a process boundary; hoist the
+    callable to module level (see ``SpecBlockFactory`` for the
+    idiomatic replacement of a closure).
+PROC002
+    A non-module-level workload factory or fault plan: a ``*Factory``
+    or ``FaultPlan`` class defined inside a function, or a lambda /
+    local function passed as a ``factory=`` keyword.  Factories ride
+    inside launches into worker processes; they must be module-level.
+PROC003
+    Mutable default argument (``[]``/``{}``/``set()``/...) on a
+    function, or a mutable class-level default on a dataclass field.
+    Defaults are evaluated once and shared — across calls *and*, after
+    a pickle round-trip, across processes in surprising ways.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.core import Checker, Finding, ParsedFile, register
+
+_POOL_ENTRY_POINTS = ("parallel_map", "submit")
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "deque", "defaultdict"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+def _dataclass_decorated(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else None
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+class _Scope:
+    """One function scope: the callables defined locally within it."""
+
+    __slots__ = ("local_callables",)
+
+    def __init__(self) -> None:
+        self.local_callables: set[str] = set()
+
+
+@register
+class ProcessSafetyChecker(Checker):
+    name = "process-safety"
+    rules = {
+        "PROC001": "lambda/closure passed to parallel_map/submit",
+        "PROC002": "non-module-level workload factory or FaultPlan",
+        "PROC003": "mutable default argument / dataclass field default",
+    }
+
+    def check_file(self, pf: ParsedFile) -> Iterator[Finding]:
+        yield from self._walk(pf, pf.tree, scopes=[])
+
+    # ------------------------------------------------------------------
+    def _walk(
+        self, pf: ParsedFile, node: ast.AST, scopes: list[_Scope]
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(pf, child)
+                if scopes:
+                    scopes[-1].local_callables.add(child.name)
+                scopes.append(_Scope())
+                yield from self._walk(pf, child, scopes)
+                scopes.pop()
+                continue
+            if isinstance(child, ast.ClassDef):
+                if scopes and (
+                    child.name.endswith("Factory") or child.name == "FaultPlan"
+                ):
+                    yield Finding(
+                        pf.rel, child.lineno, child.col_offset, "PROC002",
+                        f"class {child.name!r} defined inside a function: "
+                        "locally-defined factories/fault plans cannot be "
+                        "pickled into worker processes; move to module level",
+                        self.name,
+                    )
+                yield from self._check_dataclass_defaults(pf, child)
+                yield from self._walk(pf, child, scopes)
+                continue
+            if isinstance(child, ast.Assign) and scopes:
+                # ``f = lambda ...`` counts as a locally-defined callable.
+                if isinstance(child.value, ast.Lambda):
+                    for target in child.targets:
+                        if isinstance(target, ast.Name):
+                            scopes[-1].local_callables.add(target.id)
+            if isinstance(child, ast.Call):
+                yield from self._check_call(pf, child, scopes)
+            yield from self._walk(pf, child, scopes)
+
+    # ------------------------------------------------------------------
+    def _check_call(
+        self, pf: ParsedFile, node: ast.Call, scopes: list[_Scope]
+    ) -> Iterator[Finding]:
+        func = node.func
+        callee = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else None
+        )
+        local_names = {
+            name for scope in scopes for name in scope.local_callables
+        }
+        if callee in _POOL_ENTRY_POINTS:
+            candidates = list(node.args)
+            candidates.extend(
+                kw.value for kw in node.keywords if kw.arg == "fn"
+            )
+            for arg in candidates:
+                if isinstance(arg, ast.Lambda):
+                    yield Finding(
+                        pf.rel, arg.lineno, arg.col_offset, "PROC001",
+                        f"lambda passed to {callee}(): lambdas cannot be "
+                        "pickled into worker processes; use a module-level "
+                        "function",
+                        self.name,
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in local_names:
+                    yield Finding(
+                        pf.rel, arg.lineno, arg.col_offset, "PROC001",
+                        f"locally-defined function {arg.id!r} passed to "
+                        f"{callee}(): closures cannot be pickled into worker "
+                        "processes; hoist it to module level",
+                        self.name,
+                    )
+        for kw in node.keywords:
+            if kw.arg != "factory":
+                continue
+            if isinstance(kw.value, ast.Lambda) or (
+                isinstance(kw.value, ast.Name) and kw.value.id in local_names
+            ):
+                yield Finding(
+                    pf.rel, kw.value.lineno, kw.value.col_offset, "PROC002",
+                    "factory= bound to a lambda/local function: block "
+                    "factories ride inside launches into worker processes "
+                    "and must be module-level picklable objects "
+                    "(see SpecBlockFactory)",
+                    self.name,
+                )
+
+    # ------------------------------------------------------------------
+    def _check_defaults(
+        self, pf: ParsedFile, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield Finding(
+                    pf.rel, default.lineno, default.col_offset, "PROC003",
+                    f"mutable default argument on {node.name}(): evaluated "
+                    "once and shared across calls; default to None and "
+                    "construct inside",
+                    self.name,
+                )
+
+    def _check_dataclass_defaults(
+        self, pf: ParsedFile, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        if not _dataclass_decorated(node):
+            return
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if _is_mutable_default(stmt.value):
+                    yield Finding(
+                        pf.rel, stmt.value.lineno, stmt.value.col_offset,
+                        "PROC003",
+                        f"mutable default on dataclass {node.name!r} field: "
+                        "use dataclasses.field(default_factory=...)",
+                        self.name,
+                    )

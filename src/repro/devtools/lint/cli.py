@@ -1,0 +1,134 @@
+"""``repro lint`` / ``python -m repro.devtools.lint`` command line.
+
+Exit codes: 0 — clean (no findings; or, with ``--error-on-new``, no
+*non-baselined* findings); 1 — findings; 2 — usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.devtools.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    write_baseline,
+)
+from repro.devtools.lint.core import REGISTRY
+from repro.devtools.lint.report import format_human, format_json, format_rules
+from repro.devtools.lint.runner import run_lint
+
+#: Default on-disk parse-cache location (relative to the lint root).
+DEFAULT_CACHE_NAME = ".lint-cache.json"
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint arguments; shared by the standalone entry point
+    and the ``repro lint`` subcommand so their flags never drift."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files/directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repository root for relative paths and defaults "
+             "(default: current directory)",
+    )
+    parser.add_argument(
+        "--tests-dir", type=Path, default=None,
+        help="test-suite directory the oracle-parity checker "
+             "cross-references (default: <root>/tests)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable JSON instead of text",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help=f"baseline suppression file (default: <root>/"
+             f"{DEFAULT_BASELINE_NAME} when it exists)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept every current finding into the baseline file and "
+             "exit 0",
+    )
+    parser.add_argument(
+        "--error-on-new", action="store_true",
+        help="fail only on findings the baseline does not cover "
+             "(the CI mode); without this flag any finding fails",
+    )
+    parser.add_argument(
+        "--no-parse-cache", action="store_true",
+        help="disable the on-disk per-file parse cache",
+    )
+    parser.add_argument(
+        "--parse-cache", type=Path, default=None, metavar="FILE",
+        help=f"parse-cache location (default: <root>/{DEFAULT_CACHE_NAME})",
+    )
+    parser.add_argument(
+        "--checker", action="append", dest="checkers", metavar="NAME",
+        help="run only this checker (repeatable); default: all "
+             f"({', '.join(REGISTRY)})",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every registered rule and exit",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a configured lint invocation; returns the exit code."""
+    if args.list_rules:
+        print(format_rules())
+        return 0
+
+    root = (args.root or Path.cwd()).resolve()
+    baseline_path = args.baseline
+    if baseline_path is None:
+        candidate = root / DEFAULT_BASELINE_NAME
+        if candidate.is_file() or args.write_baseline:
+            baseline_path = candidate
+    cache_path = None
+    if not args.no_parse_cache:
+        cache_path = args.parse_cache or (root / DEFAULT_CACHE_NAME)
+
+    try:
+        result = run_lint(
+            paths=[p for p in args.paths] or None,
+            root=root,
+            tests_dir=args.tests_dir,
+            baseline_path=None if args.write_baseline else baseline_path,
+            cache_path=cache_path,
+            checker_names=args.checkers,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        assert baseline_path is not None
+        entries = write_baseline(baseline_path, result.findings)
+        print(
+            f"baseline written to {baseline_path}: {entries} entr"
+            f"{'y' if entries == 1 else 'ies'} covering "
+            f"{len(result.findings)} finding(s)"
+        )
+        return 0
+
+    print(format_json(result) if args.as_json else format_human(result))
+    if result.errors:
+        return 2
+    if args.error_on_new:
+        return 0 if result.ok_against_baseline else 1
+    return 0 if result.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Static determinism/process-safety/hot-loop/"
+                    "oracle-parity checks for the reproduction.",
+    )
+    configure_parser(parser)
+    return run(parser.parse_args(argv))

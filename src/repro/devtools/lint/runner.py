@@ -1,0 +1,258 @@
+"""Lint runner: file discovery, parse cache, checker execution.
+
+Determinism note: the runner is itself held to the determinism contract
+it enforces — files are discovered with ``sorted(rglob(...))``
+(# the linter's own DET005 discipline), checkers run in registration
+order, and findings are reported in ``(path, line, col, rule)`` order,
+so two runs over the same tree produce byte-identical output.
+
+The per-file parse cache (``--cache``) stores each file's findings
+keyed by a content hash salted with the lint version and the ruleset,
+so unchanged files are not re-parsed across runs; project-wide checkers
+(oracle parity) always run fresh — they are cross-file by nature and
+cheap.  CI persists the cache file between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.lint import checkers as _builtin_checkers  # noqa: F401
+from repro.devtools.lint.baseline import load_baseline, split_by_baseline
+from repro.devtools.lint.core import (
+    LINT_VERSION,
+    Checker,
+    Finding,
+    ParsedFile,
+    ProjectContext,
+    REGISTRY,
+)
+
+CACHE_VERSION = 1
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]          #: every non-suppressed finding, sorted
+    new: list[Finding]               #: findings not covered by the baseline
+    baselined: list[Finding]         #: findings the baseline accepts
+    files_checked: int = 0
+    cache_hits: int = 0
+    errors: list[str] = field(default_factory=list)  #: unparsable files
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def ok_against_baseline(self) -> bool:
+        return not self.new
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "version": LINT_VERSION,
+            "files_checked": self.files_checked,
+            "cache_hits": self.cache_hits,
+            "errors": list(self.errors),
+            "counts": dict(
+                sorted(Counter(f.rule for f in self.findings).items())
+            ),
+            "new": [f.as_dict() for f in self.new],
+            "baselined": [f.as_dict() for f in self.baselined],
+        }
+
+
+def discover_files(paths: list[Path]) -> list[Path]:
+    """Every ``.py`` file under the given paths, sorted (DET005: never
+    depend on filesystem enumeration order)."""
+    out: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+    seen: set[Path] = set()
+    unique = []
+    for path in sorted(out):
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def _rel(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+class _ParseCache:
+    """On-disk per-file findings cache keyed by content hash."""
+
+    def __init__(self, path: Path | None, salt: str):
+        self.path = path
+        self.salt = salt
+        self.entries: dict[str, dict] = {}
+        self.hits = 0
+        self._dirty = False
+        if path is not None:
+            try:
+                data = json.loads(path.read_text())
+                if int(data.get("version", 0)) == CACHE_VERSION:
+                    self.entries = dict(data.get("files", {}))
+            except (OSError, ValueError, TypeError):
+                self.entries = {}
+
+    def get(self, rel: str, content_hash: str) -> list[Finding] | None:
+        entry = self.entries.get(rel)
+        if not entry or entry.get("sha") != content_hash:
+            return None
+        try:
+            findings = [
+                Finding(
+                    path=str(f["path"]), line=int(f["line"]),
+                    col=int(f["col"]), rule=str(f["rule"]),
+                    message=str(f["message"]), checker=str(f["checker"]),
+                )
+                for f in entry["findings"]
+            ]
+        except (KeyError, TypeError, ValueError):
+            return None
+        self.hits += 1
+        return findings
+
+    def put(self, rel: str, content_hash: str, findings: list[Finding]) -> None:
+        self.entries[rel] = {
+            "sha": content_hash,
+            "findings": [f.as_dict() for f in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "files": {rel: self.entries[rel] for rel in sorted(self.entries)},
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(json.dumps(payload))
+        except OSError:
+            pass  # cache is an accelerator, never a failure source
+
+
+def run_lint(
+    paths: list[Path] | None = None,
+    root: Path | None = None,
+    tests_dir: Path | None = None,
+    baseline_path: Path | None = None,
+    cache_path: Path | None = None,
+    checker_names: list[str] | None = None,
+) -> LintResult:
+    """Run the registered checkers over ``paths`` and return the result.
+
+    Parameters
+    ----------
+    paths:
+        Files/directories to lint (default: ``src/repro`` under
+        ``root`` when it exists, else ``root`` itself).
+    root:
+        Repository root used for relative paths, default discovery and
+        the default baseline location (default: cwd).
+    tests_dir:
+        Test-suite directory for the oracle-parity cross-reference
+        (default: ``<root>/tests`` when it exists).
+    baseline_path:
+        Baseline suppression file; ``None`` means no baseline.
+    cache_path:
+        Per-file parse cache; ``None`` disables caching.
+    checker_names:
+        Subset of checkers to run (default: all registered).
+    """
+    root = (root or Path.cwd()).resolve()
+    if paths is None:
+        default = root / "src" / "repro"
+        paths = [default if default.is_dir() else root]
+    if tests_dir is None:
+        candidate = root / "tests"
+        tests_dir = candidate if candidate.is_dir() else None
+
+    active: list[Checker] = []
+    for name, cls in REGISTRY.items():
+        if checker_names is None or name in checker_names:
+            active.append(cls())
+    if checker_names is not None:
+        unknown = sorted(set(checker_names) - set(REGISTRY))
+        if unknown:
+            raise ValueError(
+                f"unknown checkers {unknown}; registered: {sorted(REGISTRY)}"
+            )
+
+    ruleset = ",".join(
+        sorted(rule for checker in active for rule in checker.rules)
+    )
+    cache = _ParseCache(cache_path, ruleset)
+
+    result = LintResult(findings=[], new=[], baselined=[])
+    parsed: list[ParsedFile] = []
+    raw: list[Finding] = []
+
+    for path in discover_files(list(paths)):
+        rel = _rel(path, root)
+        try:
+            source = path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            result.errors.append(f"{rel}: unreadable ({exc})")
+            continue
+        try:
+            pf = ParsedFile(path, rel, source)
+        except SyntaxError as exc:
+            result.errors.append(f"{rel}: syntax error ({exc.msg})")
+            continue
+        parsed.append(pf)
+        result.files_checked += 1
+        content_hash = pf.content_hash(ruleset)
+        cached = cache.get(rel, content_hash)
+        if cached is not None:
+            raw.extend(cached)
+            continue
+        file_findings: list[Finding] = []
+        for checker in active:
+            for finding in checker.check_file(pf):
+                if not pf.is_suppressed(finding.line, finding.rule):
+                    file_findings.append(finding)
+        cache.put(rel, content_hash, file_findings)
+        raw.extend(file_findings)
+    result.cache_hits = cache.hits
+    cache.save()
+
+    # Project-wide checkers always run fresh (cross-file, cheap).
+    test_files: list[ParsedFile] = []
+    if tests_dir is not None:
+        for path in discover_files([tests_dir]):
+            try:
+                test_files.append(
+                    ParsedFile(path, _rel(path, root), path.read_text())
+                )
+            except (OSError, UnicodeDecodeError, SyntaxError):
+                continue  # unparsable test files cannot vouch for coverage
+    ctx = ProjectContext(files=parsed, test_files=test_files)
+    by_rel = {pf.rel: pf for pf in parsed}
+    for checker in active:
+        for finding in checker.check_project(ctx):
+            pf = by_rel.get(finding.path)
+            if pf is not None and pf.is_suppressed(finding.line, finding.rule):
+                continue
+            raw.append(finding)
+
+    result.findings = sorted(raw, key=lambda f: f.sort_key)
+    baseline = load_baseline(baseline_path)
+    result.new, result.baselined = split_by_baseline(result.findings, baseline)
+    return result

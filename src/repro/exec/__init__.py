@@ -54,6 +54,7 @@ from repro.exec.journal import (
     JOURNAL_FORMAT_VERSION,
     SweepJournal,
     default_journal_dir,
+    list_journals,
     open_sweep_journal,
     sweep_key,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "SweepJournal",
     "JOURNAL_FORMAT_VERSION",
     "default_journal_dir",
+    "list_journals",
     "open_sweep_journal",
     "sweep_key",
 ]

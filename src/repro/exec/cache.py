@@ -303,6 +303,14 @@ class ProfileCache:
             pass
 
     def entries(self) -> list[Path]:
+        """Every cached profile, **sorted by path**.
+
+        The sort is a determinism contract, not a nicety: ``glob``
+        enumerates in filesystem order, which differs across machines
+        and even across runs on the same machine, and everything
+        downstream (``info()`` byte totals, ``clear()`` removal order,
+        sweep resume scans) must not depend on it.  DET005 in
+        ``repro lint`` enforces the same rule tree-wide."""
         if not self.profiles_dir.is_dir():
             return []
         return sorted(self.profiles_dir.glob("*.npz"))

@@ -54,6 +54,20 @@ def default_journal_dir() -> Path:
     return default_cache_dir() / "journals"
 
 
+def list_journals(journal_dir: str | Path | None = None) -> list[Path]:
+    """Every sweep journal under ``journal_dir``, **sorted by path**.
+
+    Like :meth:`repro.exec.cache.ProfileCache.entries`, the sort is a
+    determinism contract: filesystem enumeration order varies across
+    machines, and any tooling iterating journals (inspection, pruning,
+    reporting) must see the same order everywhere.  DET005 in
+    ``repro lint`` enforces the rule tree-wide."""
+    root = Path(journal_dir) if journal_dir else default_journal_dir()
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("*.jsonl"))
+
+
 def sweep_key(sweep: str, params: object) -> str:
     """Content key of one sweep invocation: the driver name plus the
     ``repr`` of every result-shaping parameter (all are frozen

@@ -23,7 +23,7 @@ import numpy as np
 MAX_EXACT_WARPS = 12
 
 
-def _as_latencies(stall_latency, num_warps: int) -> np.ndarray:
+def _as_latencies(stall_latency: float | np.ndarray, num_warps: int) -> np.ndarray:
     m = np.broadcast_to(
         np.asarray(stall_latency, dtype=np.float64), (num_warps,)
     ).copy()
@@ -33,7 +33,7 @@ def _as_latencies(stall_latency, num_warps: int) -> np.ndarray:
 
 
 def transition_matrix(
-    stall_probability: float, stall_latency, num_warps: int
+    stall_probability: float, stall_latency: float | np.ndarray, num_warps: int
 ) -> np.ndarray:
     """Build the 2^N x 2^N transition matrix T of Eq. 3.
 
@@ -101,7 +101,9 @@ def ipc_from_steady_state(v: np.ndarray) -> float:
     return float(1.0 - v[0])
 
 
-def warp_runnable_probability(stall_probability: float, stall_latency) -> np.ndarray:
+def warp_runnable_probability(
+    stall_probability: float, stall_latency: float | np.ndarray
+) -> np.ndarray:
     """Per-warp steady-state probability of being runnable:
     pi_run = (1/M) / (p + 1/M) = 1 / (1 + p M)."""
     p = float(stall_probability)
@@ -109,7 +111,11 @@ def warp_runnable_probability(stall_probability: float, stall_latency) -> np.nda
     return 1.0 / (1.0 + p * m)
 
 
-def analytic_ipc(stall_probability: float, stall_latency, num_warps: int | None = None):
+def analytic_ipc(
+    stall_probability: float,
+    stall_latency: float | np.ndarray,
+    num_warps: int | None = None,
+) -> float | np.ndarray:
     """Closed-form IPC of the Eq. 3 chain.
 
     Because Eq. 3's f factors make warps independent chains, the joint

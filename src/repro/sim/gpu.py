@@ -269,9 +269,11 @@ class FixedUnitRecorder:
         self._start = 0
         self.cur_bbv = np.zeros(num_bbs, dtype=np.int64)
 
-    def flush(self, now: int, insts: int) -> None:
+    def flush(self, now: int, insts: int) -> np.ndarray:
         """Close the current unit at cycle ``now`` with ``insts``
-        instructions and open the next one."""
+        instructions and open the next one.  Returns the fresh (zeroed)
+        accumulator so hot loops can rebind their local BBV view from
+        the return value instead of re-reading ``cur_bbv``."""
         bbv = None
         if self.record_bbv:
             bbv = self.cur_bbv
@@ -280,6 +282,7 @@ class FixedUnitRecorder:
             UnitRecord(start_cycle=self._start, end_cycle=now, insts=insts, bbv=bbv)
         )
         self._start = now
+        return self.cur_bbv
 
     def finalize(self, now: int, leftover: int) -> None:
         """Close a trailing partial unit, if any instructions remain."""
@@ -670,8 +673,10 @@ class GPUSimulator:
         rec_on = rec is not None
         if rec_on:
             rec_bbv = rec.cur_bbv
-            rec_left = rec.unit_insts
             rec_nbb = rec.num_bbs
+            rec_unit = rec.unit_insts
+            rec_left = rec_unit
+            rec_flush = rec.flush
         # Without hooks, non-memory instructions of the SM's sole
         # ready warp touch only private state, so segments may run past
         # the next *global* event; with a sampler or recorder observing
@@ -744,6 +749,7 @@ class GPUSimulator:
                 nxtmins[si] = _INF
                 heapify(wh)
                 whs.append(wh)
+            # lint: hot
             while event_heap:
                 n_events += 1
                 t, si = pop(event_heap)
@@ -917,6 +923,7 @@ class GPUSimulator:
                     if wlast > wall:
                         wall = wlast
 
+        # lint: hot
         while event_heap:
             n_events += 1
             t, si = pop(event_heap)
@@ -924,6 +931,11 @@ class GPUSimulator:
             ri = ris[si]
             rlen = len(rnd)
             nxt = nxts[si]
+            # The spill list's identity never changes within a window
+            # (only cleared and refilled), so its bound methods are
+            # looked up once per window, not once per issue slot.
+            nxt_append = nxt.append
+            nxt_clear = nxt.clear
             nxtmin = nxtmins[si]
             first = True
             last_t = -1
@@ -932,8 +944,11 @@ class GPUSimulator:
                 if ri == rlen:
                     if not nxt:
                         break  # SM drained; nothing left to schedule
-                    rnd = sorted(nxt)
-                    nxt.clear()
+                    # Round rebuild: one allocation per *round*, not
+                    # per issue slot — the amortized cost the round
+                    # structure is built on.
+                    rnd = sorted(nxt)  # lint: disable=HOT002
+                    nxt_clear()
                     rnds[si] = rnd
                     ri = 0
                     rlen = len(rnd)
@@ -943,8 +958,9 @@ class GPUSimulator:
                 if nxt and nxtmin <= e[0]:
                     # A re-queued entry ties or beats the sorted head:
                     # merge so (ready, seq) order is preserved exactly.
-                    rnd = sorted(rnd[ri:] + nxt)
-                    nxt.clear()
+                    # Same once-per-round amortization as above.
+                    rnd = sorted(rnd[ri:] + nxt)  # lint: disable=HOT002
+                    nxt_clear()
                     rnds[si] = rnd
                     ri = 0
                     rlen = len(rnd)
@@ -992,9 +1008,8 @@ class GPUSimulator:
                             rec_bbv[w.bb[pc]] += 1
                             rec_left -= 1
                             if rec_left == 0:
-                                rec.flush(t + 1, rec.unit_insts)
-                                rec_bbv = rec.cur_bbv
-                                rec_left = rec.unit_insts
+                                rec_bbv = rec_flush(t + 1, rec_unit)
+                                rec_left = rec_unit
                         pc += 1
                         if pc < e[6]:
                             e[3] = pc
@@ -1003,7 +1018,7 @@ class GPUSimulator:
                                 e[1] = seq_counter
                                 seq_counter += 1
                             e[0] = done
-                            nxt.append(e)
+                            nxt_append(e)
                             if done < nxtmin:
                                 nxtmin = done
                         else:
@@ -1034,9 +1049,8 @@ class GPUSimulator:
                         rec_bbv[w.bb[pc]] += 1
                         rec_left -= 1
                         if rec_left == 0:
-                            rec.flush(t + 1, rec.unit_insts)
-                            rec_bbv = rec.cur_bbv
-                            rec_left = rec.unit_insts
+                            rec_bbv = rec_flush(t + 1, rec_unit)
+                            rec_left = rec_unit
                     tb.live -= 1
                     if tb.live == 0:
                         nxtmins[si] = nxtmin
@@ -1099,6 +1113,11 @@ class GPUSimulator:
                                         for b in bb[j:j + take]:
                                             rec_bbv[b] += 1
                                     else:
+                                        # Amortized over >= _BINCOUNT_MIN
+                                        # instructions; the vectorized
+                                        # tally beats the scalar loop
+                                        # despite the temporary.
+                                        # lint: disable=HOT002
                                         rec_bbv += np.bincount(
                                             w.bb_np[j:j + take],
                                             minlength=rec_nbb,
@@ -1106,10 +1125,10 @@ class GPUSimulator:
                                     rec_left -= take
                                     j += take
                                     if rec_left == 0:
-                                        rec.flush(t + cum[j - 1] - base + 1,
-                                                  rec.unit_insts)
-                                        rec_bbv = rec.cur_bbv
-                                        rec_left = rec.unit_insts
+                                        rec_bbv = rec_flush(
+                                            t + cum[j - 1] - base + 1, rec_unit
+                                        )
+                                        rec_left = rec_unit
                             if lrr:
                                 # One fresh sequence number per notional
                                 # re-queue within the batch.
@@ -1117,7 +1136,7 @@ class GPUSimulator:
                                 e[1] = seq_counter - 1
                             e[3] = idx
                             e[0] = done
-                            nxt.append(e)
+                            nxt_append(e)
                             if done < nxtmin:
                                 nxtmin = done
                             t = last_t + 1
@@ -1131,15 +1150,14 @@ class GPUSimulator:
                     rec_bbv[e[2].bb[pc]] += 1
                     rec_left -= 1
                     if rec_left == 0:
-                        rec.flush(t + 1, rec.unit_insts)
-                        rec_bbv = rec.cur_bbv
-                        rec_left = rec.unit_insts
+                        rec_bbv = rec_flush(t + 1, rec_unit)
+                        rec_left = rec_unit
                 e[3] = pc1
                 if lrr:
                     e[1] = seq_counter
                     seq_counter += 1
                 e[0] = done
-                nxt.append(e)
+                nxt_append(e)
                 if done < nxtmin:
                     nxtmin = done
                 t += 1

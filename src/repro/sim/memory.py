@@ -125,6 +125,7 @@ class MemoryHierarchy:
         self._service = dram.service
         self._jitter = dram.jitter
 
+    # lint: hot
     def load(self, sm_id: int, addr: int, spread: int, num_req: int, now: int) -> int:
         """Perform one warp memory instruction's ``num_req`` transactions
         starting at ``addr`` with byte ``spread`` between them; return
@@ -243,7 +244,9 @@ class MemoryHierarchy:
                         l2_evict(False)
                     l2_misses += 1
                     if dram_addrs is None:
-                        dram_addrs = [a]
+                        # Allocated at most once per *instruction* (on
+                        # the first DRAM miss), not per transaction.
+                        dram_addrs = [a]  # lint: disable=HOT002
                     else:
                         dram_addrs.append(a)
             a += spread

@@ -9,6 +9,7 @@ so loading is pure slicing.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -18,6 +19,36 @@ from repro.trace.launch import LaunchTrace
 from repro.trace.warptrace import WarpTrace
 
 _FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ArchiveBlockFactory:
+    """Block factory over a loaded archive's columnar data.
+
+    Module-level (not a closure) so launches loaded from disk remain
+    picklable and can be shipped to worker processes, exactly like
+    generated launches built on ``SpecBlockFactory``.
+    """
+
+    cols: dict
+    warp_start: np.ndarray
+    first_warp: np.ndarray
+
+    def __call__(self, tb_id: int) -> BlockTrace:
+        warps = []
+        for i in range(self.first_warp[tb_id], self.first_warp[tb_id + 1]):
+            lo, hi = self.warp_start[i], self.warp_start[i + 1]
+            warps.append(
+                WarpTrace(
+                    self.cols["op"][lo:hi],
+                    self.cols["active"][lo:hi],
+                    self.cols["mem_req"][lo:hi],
+                    self.cols["addr"][lo:hi],
+                    self.cols["spread"][lo:hi],
+                    self.cols["bb"][lo:hi],
+                )
+            )
+        return BlockTrace(tb_id, warps)
 
 
 def save_launch(launch: LaunchTrace, path: str | Path) -> None:
@@ -77,30 +108,14 @@ def load_launch(path: str | Path) -> LaunchTrace:
     warp_start = np.concatenate([[0], np.cumsum(warp_lengths)])
     first_warp = np.concatenate([[0], np.cumsum(block_warp_counts)])
 
-    def factory(tb_id: int) -> BlockTrace:
-        warps = []
-        for i in range(first_warp[tb_id], first_warp[tb_id + 1]):
-            lo, hi = warp_start[i], warp_start[i + 1]
-            warps.append(
-                WarpTrace(
-                    cols["op"][lo:hi],
-                    cols["active"][lo:hi],
-                    cols["mem_req"][lo:hi],
-                    cols["addr"][lo:hi],
-                    cols["spread"][lo:hi],
-                    cols["bb"][lo:hi],
-                )
-            )
-        return BlockTrace(tb_id, warps)
-
     return LaunchTrace(
         kernel_name=kernel_name,
         launch_id=launch_id,
         num_blocks=num_blocks,
         warps_per_block=warps_per_block,
-        factory=factory,
+        factory=ArchiveBlockFactory(cols, warp_start, first_warp),
         num_bbs=num_bbs,
     )
 
 
-__all__ = ["save_launch", "load_launch"]
+__all__ = ["ArchiveBlockFactory", "save_launch", "load_launch"]

@@ -1,0 +1,55 @@
+# Planted hot-loop violations.  Parsed by the linter, never executed.
+import numpy as np
+
+
+def cold_loop(items, rec, out):
+    # Unmarked: identical body to the hot loop below, but no findings.
+    for item in items:
+        out.append(rec.scale * item)
+        out.append(rec.scale + item)
+        tmp = [item]
+        try:
+            tmp.pop()
+        except IndexError:
+            pass
+
+
+# lint: hot
+def hot_function(items, rec, out):
+    for item in items:
+        out.append(rec.scale * item)  # HOT001: rec.scale and out.append
+        out.append(rec.scale + item)  # looked up twice per iteration
+        tmp = [item]  # HOT002: list display
+        buf = np.zeros(4)  # HOT002: numpy allocation
+        try:  # HOT003
+            tmp.pop()
+        except IndexError:
+            pass
+        del buf
+
+
+def hot_marked_loop(items, rec):
+    prepared = sorted(items)  # clean: outside the marked loop
+    total = 0
+    # lint: hot
+    while prepared:
+        batch = sorted(prepared)  # HOT002: sorted() per iteration
+        for extra in batch:  # nested loops inherit hotness
+            total += rec.scale * extra  # HOT001: rec.scale twice,
+            total -= rec.scale + extra  # via the nested loop
+        prepared = prepared[1:]
+    return total
+
+
+def hot_rebound_base_ok(pools, items):
+    # lint: hot
+    for item in items:
+        pool = pools[item]
+        pool.append(item)  # clean: 'pool' is rebound every iteration
+        pool.append(item)
+
+
+def hot_justified(items):
+    # lint: hot
+    while items:
+        items = sorted(items[1:])  # lint: disable=HOT002

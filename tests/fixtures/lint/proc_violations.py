@@ -1,0 +1,78 @@
+# Planted process-safety violations.  Parsed by the linter, never
+# executed; names like parallel_map are intentionally unresolved.
+from dataclasses import dataclass, field
+
+
+def lambda_to_pool(tasks):
+    return parallel_map(lambda t: t * 2, tasks)  # PROC001
+
+
+def closure_to_pool(tasks, scale):
+    def work(t):
+        return t * scale
+
+    return parallel_map(work, tasks)  # PROC001
+
+
+def lambda_assigned_to_pool(pool, tasks):
+    work = lambda t: t + 1
+    return pool.submit(fn=work, items=tasks)  # PROC001
+
+
+def module_level_fn_ok(tasks):
+    return parallel_map(module_worker, tasks)  # clean: module-level name
+
+
+def module_worker(t):
+    return t
+
+
+def local_factory_class(cols):
+    class LocalBlockFactory:  # PROC002: *Factory inside a function
+        def __call__(self, tb_id):
+            return cols[tb_id]
+
+    return LocalBlockFactory()
+
+
+def local_fault_plan():
+    class FaultPlan:  # PROC002: FaultPlan inside a function
+        pass
+
+    return FaultPlan()
+
+
+def closure_factory_kwarg(cols):
+    def factory(tb_id):
+        return cols[tb_id]
+
+    return make_launch(num_blocks=4, factory=factory)  # PROC002
+
+
+def lambda_factory_kwarg(cols):
+    return make_launch(factory=lambda tb_id: cols[tb_id])  # PROC002
+
+
+def mutable_default(x, acc=[]):  # PROC003
+    acc.append(x)
+    return acc
+
+
+def mutable_kwonly_default(x, *, table={}):  # PROC003
+    return table.get(x)
+
+
+def none_default_ok(x, acc=None):  # clean
+    return acc or [x]
+
+
+@dataclass
+class PicklableSpec:
+    name: str
+    tags: list = []  # PROC003: mutable dataclass default
+
+
+@dataclass
+class PicklableSpecOk:
+    name: str
+    tags: list = field(default_factory=list)  # clean

@@ -1,0 +1,26 @@
+# Every violation here carries a pragma; a lint run must report zero
+# findings for this file.
+# lint: disable-file=DET004
+import os
+import time
+
+import numpy as np
+
+
+def wall_clock_trailing():
+    return time.perf_counter()  # lint: disable=DET001
+
+
+def wall_clock_preceding():
+    # lint: disable=DET001
+    return time.monotonic()
+
+
+def two_rules_one_line(root):
+    # lint: disable=DET002,DET005
+    return np.random.default_rng(), root.glob("*")
+
+
+def environ_read_file_pragma():
+    # Covered by the disable-file=DET004 pragma at the top.
+    return os.environ.get("HOME"), os.getenv("HOME")

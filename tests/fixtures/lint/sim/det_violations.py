@@ -1,0 +1,54 @@
+# Planted determinism violations for the lint test suite.  This file
+# is parsed by the linter, never imported or executed.
+import glob
+import os
+import time
+
+import numpy as np
+
+
+def wall_clock_read():
+    return time.perf_counter()  # DET001
+
+
+def unseeded_rng():
+    return np.random.default_rng()  # DET002 (argless seeded ctor)
+
+
+def global_rng():
+    return np.random.rand(4)  # DET002 (legacy global-state API)
+
+
+def seeded_rng_ok(seed):
+    return np.random.default_rng(seed)  # clean: explicit seed
+
+
+def set_iteration(items):
+    out = []
+    for item in {1, 2, 3}:  # DET003
+        out.append(item)
+    return out
+
+
+def sorted_set_ok(items):
+    return [x for x in sorted(set(items))]  # clean: explicit ordering
+
+
+def environ_read():
+    return os.environ.get("TBPOINT_CACHE_DIR")  # DET004
+
+
+def getenv_read():
+    return os.getenv("HOME")  # DET004
+
+
+def unsorted_glob(root):
+    return glob.glob(f"{root}/*.npz")  # DET005
+
+
+def unsorted_method(root):
+    return list(root.glob("*.npz"))  # DET005
+
+
+def sorted_glob_ok(root):
+    return sorted(root.glob("*.npz"))  # clean: wrapped in sorted()

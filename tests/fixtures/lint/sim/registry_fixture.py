@@ -1,0 +1,13 @@
+# Planted implementation registries for the oracle-parity checker.
+# The names are fixture-specific so they can never collide with (or
+# accidentally vouch for) the real simulator registries.
+
+
+class FixtureSimulator:
+    ENGINES = ("fixture-compact", "fixture-reference")
+
+
+MEMORY_FRONT_ENDS = {
+    "fixture-fast": object,
+    "fixture-oracle": object,
+}

@@ -1,0 +1,380 @@
+"""Tests for ``repro lint``: the AST checker framework, the four
+built-in checkers (against planted-violation fixtures under
+``tests/fixtures/lint/``), pragma suppression, the baseline file, the
+parse cache, JSON output shape, and the CLI wiring."""
+
+import json
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import run_lint
+from repro.devtools.lint.baseline import load_baseline, write_baseline
+from repro.devtools.lint.cli import main as lint_main
+from repro.devtools.lint.core import ParsedFile
+from repro.devtools.lint.report import format_human
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+REPO_ROOT = Path(__file__).parent.parent
+
+DET_FILE = FIXTURES / "sim" / "det_violations.py"
+SUPPRESSED_FILE = FIXTURES / "sim" / "det_suppressed.py"
+PROC_FILE = FIXTURES / "proc_violations.py"
+HOT_FILE = FIXTURES / "hot_violations.py"
+REGISTRY_FILE = FIXTURES / "sim" / "registry_fixture.py"
+
+
+def _lint(paths, tests_dir=None, **kwargs):
+    return run_lint(
+        paths=[Path(p) for p in paths],
+        root=FIXTURES,
+        tests_dir=tests_dir,
+        **kwargs,
+    )
+
+
+def _rules(result):
+    return Counter(f.rule for f in result.findings)
+
+
+# ----------------------------------------------------------------------
+# Determinism checker
+# ----------------------------------------------------------------------
+
+def test_determinism_catches_planted_violations():
+    result = _lint([DET_FILE], cache_path=None)
+    assert _rules(result) == Counter(
+        {"DET001": 1, "DET002": 2, "DET003": 1, "DET004": 2, "DET005": 2}
+    )
+
+
+def test_determinism_seeded_and_sorted_forms_pass():
+    source = DET_FILE.read_text()
+    lines = {
+        f.line: f.rule
+        for f in _lint([DET_FILE], cache_path=None).findings
+    }
+    for lineno, rule in lines.items():
+        assert "clean" not in source.splitlines()[lineno - 1], (
+            f"{rule} fired on a line documented as clean"
+        )
+
+
+def test_determinism_subsystem_scoping(tmp_path):
+    # The same wall-clock read outside sim/core/cluster/trace is legal.
+    src = "import time\n\ndef f():\n    return time.perf_counter()\n"
+    (tmp_path / "analysis").mkdir()
+    outside = tmp_path / "analysis" / "mod.py"
+    outside.write_text(src)
+    (tmp_path / "core").mkdir()
+    inside = tmp_path / "core" / "mod.py"
+    inside.write_text(src)
+    result = run_lint(paths=[tmp_path], root=tmp_path, cache_path=None)
+    assert [(f.path, f.rule) for f in result.findings] == [
+        ("core/mod.py", "DET001")
+    ]
+
+
+# ----------------------------------------------------------------------
+# Process-safety checker
+# ----------------------------------------------------------------------
+
+def test_process_safety_catches_planted_violations():
+    result = _lint([PROC_FILE], cache_path=None)
+    assert _rules(result) == Counter(
+        {"PROC001": 3, "PROC002": 4, "PROC003": 3}
+    )
+
+
+def test_process_safety_module_level_names_pass():
+    result = _lint([PROC_FILE], cache_path=None)
+    source_lines = PROC_FILE.read_text().splitlines()
+    for f in result.findings:
+        assert "clean" not in source_lines[f.line - 1]
+
+
+# ----------------------------------------------------------------------
+# Hot-loop checker
+# ----------------------------------------------------------------------
+
+def test_hot_loop_catches_planted_violations():
+    result = _lint([HOT_FILE], cache_path=None)
+    assert _rules(result) == Counter(
+        {"HOT001": 3, "HOT002": 3, "HOT003": 1}
+    )
+
+
+def test_hot_loop_only_fires_inside_marked_regions():
+    # cold_loop has the identical body but no ``# lint: hot`` mark.
+    result = _lint([HOT_FILE], cache_path=None)
+    source = HOT_FILE.read_text().splitlines()
+    cold_start = next(
+        i for i, line in enumerate(source, 1) if "def cold_loop" in line
+    )
+    cold_end = next(
+        i for i, line in enumerate(source, 1) if "def hot_function" in line
+    )
+    assert not [
+        f for f in result.findings if cold_start <= f.line < cold_end
+    ]
+
+
+def test_hot_pragma_suppression():
+    # hot_justified's sorted() carries a trailing disable pragma.
+    result = _lint([HOT_FILE], cache_path=None)
+    source = HOT_FILE.read_text().splitlines()
+    justified = next(
+        i for i, line in enumerate(source, 1) if "disable=HOT002" in line
+    )
+    assert not [f for f in result.findings if f.line == justified]
+
+
+# ----------------------------------------------------------------------
+# Oracle-parity checker
+# ----------------------------------------------------------------------
+
+def test_oracle_parity_full_coverage_is_clean():
+    result = _lint(
+        [REGISTRY_FILE], tests_dir=FIXTURES / "fake_tests_full",
+        cache_path=None,
+    )
+    assert not result.findings
+
+
+def test_oracle_parity_flags_uncovered_registrations():
+    result = _lint(
+        [REGISTRY_FILE], tests_dir=FIXTURES / "fake_tests_partial",
+        cache_path=None,
+    )
+    assert _rules(result) == Counter({"ORA001": 2})
+    flagged = {f.message.split("'")[1] for f in result.findings}
+    assert flagged == {"fixture-reference", "fixture-oracle"}
+
+
+# ----------------------------------------------------------------------
+# Pragmas
+# ----------------------------------------------------------------------
+
+def test_pragmas_suppress_every_planted_violation():
+    result = _lint([SUPPRESSED_FILE], cache_path=None)
+    assert not result.findings
+
+
+def test_pragma_parsing_trailing_and_standalone():
+    pf = ParsedFile(
+        Path("x.py"), "x.py",
+        "a = 1  # lint: disable=DET001\n"
+        "# lint: disable=DET002,DET003\n"
+        "b = 2\n"
+        "# lint: disable-file=HOT001\n",
+    )
+    assert pf.is_suppressed(1, "DET001")
+    assert pf.is_suppressed(3, "DET002") and pf.is_suppressed(3, "DET003")
+    assert not pf.is_suppressed(2, "DET002")
+    assert pf.is_suppressed(99, "HOT001")  # file-wide, any line
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+def test_baseline_roundtrip_suppresses_known_findings(tmp_path):
+    first = _lint([DET_FILE], cache_path=None)
+    assert first.findings and not first.baselined
+    baseline = tmp_path / "lint-baseline.json"
+    write_baseline(baseline, first.findings)
+    second = _lint([DET_FILE], baseline_path=baseline, cache_path=None)
+    assert not second.new
+    assert len(second.baselined) == len(first.findings)
+    assert not second.ok
+    assert second.ok_against_baseline
+
+
+def test_baseline_counts_cap_occurrences(tmp_path):
+    # Two identical violations share one baseline key with count 2;
+    # halving the budget makes exactly one occurrence new again.
+    src = tmp_path / "mod.py"
+    src.write_text(
+        "import glob\n"
+        "a = glob.glob('*')\n"
+        "b = glob.glob('*')\n"
+    )
+    first = run_lint(paths=[src], root=tmp_path, cache_path=None)
+    assert len(first.findings) == 2
+    baseline = tmp_path / "lint-baseline.json"
+    write_baseline(baseline, first.findings)
+    data = json.loads(baseline.read_text())
+    (key,) = data["entries"]
+    assert data["entries"][key] == 2
+    data["entries"][key] = 1
+    baseline.write_text(json.dumps(data))
+    second = run_lint(
+        paths=[src], root=tmp_path, baseline_path=baseline, cache_path=None
+    )
+    assert len(second.new) == 1 and len(second.baselined) == 1
+    assert second.new[0].baseline_key == key
+
+
+def test_corrupt_or_missing_baseline_is_empty(tmp_path):
+    assert not load_baseline(None)
+    assert not load_baseline(tmp_path / "absent.json")
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{not json")
+    assert not load_baseline(corrupt)
+
+
+# ----------------------------------------------------------------------
+# Parse cache
+# ----------------------------------------------------------------------
+
+def test_parse_cache_hits_and_identical_findings(tmp_path):
+    cache = tmp_path / "cache.json"
+    first = _lint([DET_FILE, PROC_FILE], cache_path=cache)
+    assert first.cache_hits == 0
+    assert cache.is_file()
+    second = _lint([DET_FILE, PROC_FILE], cache_path=cache)
+    assert second.cache_hits == 2
+    assert [f.as_dict() for f in second.findings] == [
+        f.as_dict() for f in first.findings
+    ]
+
+
+def test_parse_cache_invalidated_by_edit(tmp_path):
+    src = tmp_path / "mod.py"
+    src.write_text("import glob\nx = glob.glob('*')\n")
+    cache = tmp_path / "cache.json"
+    run_lint(paths=[src], root=tmp_path, cache_path=cache)
+    src.write_text("import glob\nx = sorted(glob.glob('*'))\n")
+    result = run_lint(paths=[src], root=tmp_path, cache_path=cache)
+    assert result.cache_hits == 0
+    assert not result.findings
+
+
+# ----------------------------------------------------------------------
+# Runner / output
+# ----------------------------------------------------------------------
+
+def test_findings_sorted_and_output_deterministic():
+    a = _lint([DET_FILE, PROC_FILE, HOT_FILE], cache_path=None)
+    b = _lint([DET_FILE, PROC_FILE, HOT_FILE], cache_path=None)
+    keys = [f.sort_key for f in a.findings]
+    assert keys == sorted(keys)
+    assert format_human(a) == format_human(b)
+
+
+def test_syntax_error_reported_not_fatal(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    result = run_lint(paths=[bad], root=tmp_path, cache_path=None)
+    assert result.errors and "syntax error" in result.errors[0]
+
+
+def test_unknown_checker_name_raises():
+    with pytest.raises(ValueError, match="unknown checkers"):
+        _lint([DET_FILE], cache_path=None, checker_names=["nope"])
+
+
+def test_checker_selection_limits_rules():
+    result = _lint(
+        [DET_FILE, PROC_FILE], cache_path=None,
+        checker_names=["process-safety"],
+    )
+    assert {f.rule for f in result.findings} == {
+        "PROC001", "PROC002", "PROC003"
+    }
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def test_cli_exit_codes(tmp_path, capsys):
+    args = [str(DET_FILE), "--root", str(FIXTURES), "--no-parse-cache"]
+    assert lint_main(args) == 1
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert lint_main(
+        [str(clean), "--root", str(tmp_path), "--no-parse-cache"]
+    ) == 0
+    capsys.readouterr()
+
+
+def test_cli_error_on_new_with_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    first = _lint([DET_FILE], cache_path=None)
+    write_baseline(baseline, first.findings)
+    args = [
+        str(DET_FILE), "--root", str(FIXTURES), "--no-parse-cache",
+        "--baseline", str(baseline),
+    ]
+    assert lint_main(args) == 1  # without --error-on-new: findings fail
+    assert lint_main(args + ["--error-on-new"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_json_output_shape(capsys):
+    rc = lint_main([
+        str(DET_FILE), "--root", str(FIXTURES), "--no-parse-cache",
+        "--json",
+    ])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {
+        "version", "files_checked", "cache_hits", "errors", "counts",
+        "new", "baselined",
+    }
+    assert payload["files_checked"] == 1
+    assert payload["counts"]["DET001"] == 1
+    finding = payload["new"][0]
+    assert set(finding) == {
+        "path", "line", "col", "rule", "message", "checker"
+    }
+    assert finding["path"] == "sim/det_violations.py"
+
+
+def test_cli_write_baseline(tmp_path, capsys):
+    baseline = tmp_path / "lint-baseline.json"
+    rc = lint_main([
+        str(DET_FILE), "--root", str(FIXTURES), "--no-parse-cache",
+        "--write-baseline", "--baseline", str(baseline),
+    ])
+    assert rc == 0
+    data = json.loads(baseline.read_text())
+    assert data["version"] == 1 and data["entries"]
+    capsys.readouterr()
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("DET001", "PROC001", "HOT001", "ORA001"):
+        assert rule in out
+
+
+def test_repro_cli_lint_subcommand(capsys):
+    from repro._cli import main as repro_main
+
+    rc = repro_main([
+        "lint", str(DET_FILE), "--root", str(FIXTURES), "--no-parse-cache",
+    ])
+    assert rc == 1
+    assert "DET001" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# The repository's own acceptance contract
+# ----------------------------------------------------------------------
+
+def test_repository_tree_is_lint_clean():
+    """ISSUE acceptance: ``repro lint`` reports zero non-baselined
+    findings over ``src/repro`` (with the repo's own tests vouching
+    for oracle parity)."""
+    result = run_lint(
+        paths=[REPO_ROOT / "src" / "repro"],
+        root=REPO_ROOT,
+        tests_dir=REPO_ROOT / "tests",
+        cache_path=None,
+    )
+    assert not result.errors
+    assert not result.new, format_human(result)

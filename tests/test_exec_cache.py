@@ -256,3 +256,22 @@ class TestConcurrentWriters:
         info = ProfileCache(root).info()
         assert info["hits"] == nprocs * nbumps
         assert info["misses"] == nprocs * nbumps
+
+
+class TestEntriesOrdering:
+    def test_entries_sorted_regardless_of_creation_order(self, tmp_path):
+        """``entries()`` is a determinism contract (DET005): ``glob``
+        enumerates in filesystem order, so the listing must be sorted
+        no matter in what order entries landed on disk."""
+        cache = ProfileCache(str(tmp_path / "cache"))
+        cache.profiles_dir.mkdir(parents=True, exist_ok=True)
+        for stem in ("zz", "aa", "mm", "0b", "ZZ"):
+            (cache.profiles_dir / f"{stem}.npz").write_bytes(b"x")
+        listed = cache.entries()
+        assert listed == sorted(listed)
+        assert [p.stem for p in listed] == sorted(
+            ("zz", "aa", "mm", "0b", "ZZ")
+        )
+
+    def test_entries_empty_when_dir_absent(self, tmp_path):
+        assert ProfileCache(str(tmp_path / "nope")).entries() == []

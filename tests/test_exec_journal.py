@@ -171,3 +171,19 @@ class TestOpenSweepJournal:
     def test_default_journal_dir_under_cache_root(self, monkeypatch, tmp_path):
         monkeypatch.setenv("TBPOINT_CACHE_DIR", str(tmp_path))
         assert default_journal_dir() == tmp_path / "journals"
+
+
+class TestListJournals:
+    def test_sorted_regardless_of_creation_order(self, tmp_path):
+        from repro.exec.journal import list_journals
+
+        for stem in ("ffff", "0000", "aaaa"):
+            (tmp_path / f"{stem}.jsonl").write_text("")
+        (tmp_path / "not-a-journal.txt").write_text("")
+        listed = list_journals(tmp_path)
+        assert [p.stem for p in listed] == ["0000", "aaaa", "ffff"]
+
+    def test_empty_for_absent_dir(self, tmp_path):
+        from repro.exec.journal import list_journals
+
+        assert list_journals(tmp_path / "nope") == []

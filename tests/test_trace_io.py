@@ -64,3 +64,24 @@ class TestRoundTrip:
         np.savez(path, **data)
         with pytest.raises(ValueError):
             load_launch(path)
+
+
+class TestProcessSafety:
+    def test_loaded_launch_is_picklable(self, tmp_path):
+        """A loaded launch must survive a pickle round-trip so it can
+        ride into worker processes like a generated launch does (its
+        block factory is the module-level ``ArchiveBlockFactory``, not
+        a closure — PROC002)."""
+        import pickle
+
+        kernel = make_uniform_kernel(blocks_per_launch=4, warps_per_block=2)
+        launch = kernel.launches[0]
+        path = tmp_path / "launch.npz"
+        save_launch(launch, path)
+        loaded = load_launch(path)
+        restored = pickle.loads(pickle.dumps(loaded))
+        for orig, copy in zip(loaded.iter_blocks(), restored.iter_blocks()):
+            assert orig.tb_id == copy.tb_id
+            for w0, w1 in zip(orig.warps, copy.warps):
+                assert np.array_equal(w0.op, w1.op)
+                assert np.array_equal(w0.addr, w1.addr)
