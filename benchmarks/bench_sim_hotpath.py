@@ -1,10 +1,11 @@
-"""Timing-simulator hot path: fast system vs pre-overhaul reference.
+"""Timing-simulator hot path: fast and vector systems vs reference.
 
 Measures single-process simulator throughput (warp-insts/sec) of the
 fast system — compact engine (trace interning + heap pool + segment
-batching) on the batched memory front end — against the pre-overhaul
-reference system (per-instruction reference engine on the
-per-transaction reference memory front end), asserts the two produce
+batching) on the batched memory front end — and of the vector system
+(compact engine on the array-backed ``vector`` front end) against the
+pre-overhaul reference system (per-instruction reference engine on the
+per-transaction reference memory front end), asserts all three produce
 bit-identical ``LaunchResult``\\ s (memory statistics included), and
 records everything to ``BENCH_sim.json`` at the repo root.
 
@@ -105,49 +106,66 @@ def _fingerprint(result):
 
 
 def bench_launch(launch, reps: int = REPS, gpu: GPUConfig | None = None):
-    """Paired-rep comparison of the fast system against the pre-overhaul
-    reference on one launch; returns the per-launch record (asserts
-    bit-identical results, memory statistics included)."""
+    """Paired-rep comparison of the fast and vector systems against the
+    pre-overhaul reference on one launch; returns the per-launch record
+    (asserts bit-identical results, memory statistics included)."""
     gpu = gpu or GPUConfig()
     ref_sim = GPUSimulator(gpu, engine="reference", mem_front_end="reference")
     compact_sim = GPUSimulator(gpu, engine="compact", mem_front_end="fast")
+    vector_sim = GPUSimulator(gpu, engine="compact", mem_front_end="vector")
     ref_res = ref_sim.run_launch(launch)  # warm-up (untimed)
     compact_res = compact_sim.run_launch(launch)
+    vector_res = vector_sim.run_launch(launch)
     assert _fingerprint(ref_res) == _fingerprint(compact_res)
+    assert _fingerprint(ref_res) == _fingerprint(vector_res)
 
     ratios = []
-    best_ref = best_compact = float("inf")
+    vec_ratios = []
+    vec_vs_fast = []
+    best_ref = best_compact = best_vector = float("inf")
+    # Each rep times all three systems back to back, with the order
+    # rotated so slow host drift never consistently favours one side.
+    orders = (
+        ("ref", "fast", "vec"),
+        ("vec", "ref", "fast"),
+        ("fast", "vec", "ref"),
+    )
+    sims = {"ref": ref_sim, "fast": compact_sim, "vec": vector_sim}
     for rep in range(reps):
-        if rep % 2:
+        seconds = {}
+        results = {}
+        for system in orders[rep % len(orders)]:
             t0 = time.perf_counter()
-            compact_res = compact_sim.run_launch(launch)
-            t1 = time.perf_counter()
-            ref_res = ref_sim.run_launch(launch)
-            t2 = time.perf_counter()
-            ref_s, compact_s = t2 - t1, t1 - t0
-        else:
-            t0 = time.perf_counter()
-            ref_res = ref_sim.run_launch(launch)
-            t1 = time.perf_counter()
-            compact_res = compact_sim.run_launch(launch)
-            t2 = time.perf_counter()
-            ref_s, compact_s = t1 - t0, t2 - t1
+            results[system] = sims[system].run_launch(launch)
+            seconds[system] = time.perf_counter() - t0
+        ref_res = results["ref"]
+        compact_res = results["fast"]
+        vector_res = results["vec"]
         assert _fingerprint(ref_res) == _fingerprint(compact_res)
-        ratios.append(ref_s / compact_s)
-        best_ref = min(best_ref, ref_s)
-        best_compact = min(best_compact, compact_s)
+        assert _fingerprint(ref_res) == _fingerprint(vector_res)
+        ratios.append(seconds["ref"] / seconds["fast"])
+        vec_ratios.append(seconds["ref"] / seconds["vec"])
+        vec_vs_fast.append(seconds["fast"] / seconds["vec"])
+        best_ref = min(best_ref, seconds["ref"])
+        best_compact = min(best_compact, seconds["fast"])
+        best_vector = min(best_vector, seconds["vec"])
 
     insts = ref_res.issued_warp_insts
     counters = compact_res.counters
+    vec_counters = vector_res.counters
     mem_stats = compact_res.mem_stats
     mem_insts = max(1, counters.mem_insts)
     return {
         "warp_insts": insts,
         "reference_seconds": round(best_ref, 4),
         "compact_seconds": round(best_compact, 4),
+        "vector_seconds": round(best_vector, 4),
         "reference_ips": round(insts / best_ref),
         "compact_ips": round(insts / best_compact),
+        "vector_ips": round(insts / best_vector),
         "speedup": round(median(ratios), 3),
+        "vector_speedup": round(median(vec_ratios), 3),
+        "vector_vs_fast": round(median(vec_vs_fast), 3),
         "identical_results": True,
         "segment_insts_pct": round(
             100.0 * counters.segment_insts / max(1, insts), 2
@@ -175,6 +193,7 @@ def bench_launch(launch, reps: int = REPS, gpu: GPUConfig | None = None):
             "batch_l1_hits": counters.mem_batch_l1_hits,
             "batch_l2_hits": counters.mem_batch_l2_hits,
             "dedup_txns": counters.mem_dedup_txns,
+            "vector_drains": vec_counters.mem_vector_drains,
         },
     }
 
@@ -193,6 +212,7 @@ def test_sim_hotpath_throughput():
             f"{rec['warp_insts']:,}",
             f"{rec['compact_ips']:,}",
             f"{rec['speedup']:.2f}x",
+            f"{rec['vector_speedup']:.2f}x",
             f"{rec['mem']['l1_hit_rate']:.0%}",
             f"{rec['mem']['dram_row_hit_rate']:.0%}",
             f"{rec['mem']['batched_insts_pct']:.0f}%",
@@ -202,11 +222,13 @@ def test_sim_hotpath_throughput():
         "method": (
             "pre-materialized blocks, warm engines; reference = "
             "per-instruction engine + per-transaction memory front end "
-            "(the pre-overhaul system); speedup = median of per-pair "
-            f"ratios over {REPS} order-alternating paired reps "
-            "(robust to clock drift); throughput = issued warp insts / "
-            "best rep seconds; results asserted bit-identical (memory "
-            "statistics included) every rep"
+            "(the pre-overhaul system); speedup / vector_speedup = "
+            "median of per-rep ratios against the fast (compact+fast) "
+            f"and vector (compact+vector) systems over {REPS} "
+            "order-rotating paired reps (robust to clock drift); "
+            "throughput = issued warp insts / best rep seconds; "
+            "results asserted bit-identical (memory statistics "
+            "included) every rep"
         ),
         "reps": REPS,
         "cpus": os.cpu_count(),
@@ -215,8 +237,8 @@ def test_sim_hotpath_throughput():
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     emit(render_table(
-        ["kernel", "warp insts", "compact insts/s", "speedup",
-         "L1 hit", "DRAM row hit", "batched mem"],
+        ["kernel", "warp insts", "compact insts/s", "fast spd",
+         "vector spd", "L1 hit", "DRAM row hit", "batched mem"],
         rows,
         title=f"Simulator hot-path throughput (scale={SCALE}, "
               f"median of {REPS} paired reps)",
@@ -226,6 +248,16 @@ def test_sim_hotpath_throughput():
         assert rec["speedup"] > 1.0, (
             f"{rec['kernel']}: fast system slower than reference "
             f"({rec['speedup']:.2f}x)"
+        )
+        # The vector front end trades a bounded constant factor against
+        # the fast path on warp-sized traffic (ring bookkeeping costs
+        # interpreted bytecode that OrderedDict does in C; the NumPy
+        # crossover sits above warp size — measured, DESIGN.md §11), so
+        # the honest gate is "never materially slower than the
+        # reference system", not a speedup floor.
+        assert rec["vector_speedup"] > 0.8, (
+            f"{rec['kernel']}: vector system fell below the reference "
+            f"system ({rec['vector_speedup']:.2f}x)"
         )
 
 

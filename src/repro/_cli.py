@@ -51,6 +51,7 @@ from repro.analysis.report import render_table
 from repro.config import ExperimentConfig
 from repro.core.estimates import geometric_mean
 from repro.exec import ExecutionConfig, ProfileCache, default_cache_dir
+from repro.sim.memory import MEMORY_FRONT_ENDS
 from repro.workloads import ALL_KERNELS, TABLE_VI
 
 
@@ -427,7 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine (default compact)",
     )
     p.add_argument(
-        "--mem-front-end", choices=["fast", "reference"], default="fast",
+        "--mem-front-end", choices=list(MEMORY_FRONT_ENDS), default="fast",
         help="memory-hierarchy front end (default fast)",
     )
     p.add_argument(

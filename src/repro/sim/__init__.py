@@ -7,12 +7,14 @@ instructions traverse per-SM L1s, a shared L2 and banked DRAM with
 open-row and queueing behaviour, which produces the *variable* stall
 latencies the paper's model calls ``M``.
 
-The memory subsystem has two front ends: the batched fast path
-(``MemoryHierarchy``, the default) and the per-transaction reference
+The memory subsystem has three front ends: the batched fast path
+(``MemoryHierarchy``, the default), the per-transaction reference
 implementation (``ReferenceMemoryHierarchy``) kept as the equivalence
-oracle — both produce bit-identical timing, cache/DRAM state and
-statistics (property-tested in ``tests/test_sim_memory_fastpath.py``).
-Select one via ``make_memory(config, front_end)`` or
+oracle, and the array-backed ``VectorMemoryHierarchy`` (ring-log LRU
+caches, flat DRAM bank state, vectorized large-batch miss drains) —
+all produce bit-identical timing, cache/DRAM state and statistics
+(property-tested in ``tests/test_sim_memory_fastpath.py``).  Select
+one via ``make_memory(config, front_end)`` or
 ``GPUSimulator(..., mem_front_end=...)``.
 
 The simulator exposes the hooks TBPoint's intra-launch sampling needs:
@@ -20,12 +22,13 @@ a dispatch-time skip decision and sampling-unit tracking where a unit is
 the lifetime of a *specified* thread block (Section IV-B2).
 """
 
-from repro.sim.caches import DictLRUCache, LRUCache
-from repro.sim.dram import DRAMModel
+from repro.sim.caches import ArrayLRUCache, DictLRUCache, LRUCache
+from repro.sim.dram import ArrayDRAMModel, DRAMModel
 from repro.sim.memory import (
     MEMORY_FRONT_ENDS,
     MemoryHierarchy,
     ReferenceMemoryHierarchy,
+    VectorMemoryHierarchy,
     make_memory,
 )
 from repro.sim.gpu import (
@@ -39,9 +42,12 @@ from repro.sim.gpu import (
 __all__ = [
     "LRUCache",
     "DictLRUCache",
+    "ArrayLRUCache",
     "DRAMModel",
+    "ArrayDRAMModel",
     "MemoryHierarchy",
     "ReferenceMemoryHierarchy",
+    "VectorMemoryHierarchy",
     "MEMORY_FRONT_ENDS",
     "make_memory",
     "GPUSimulator",

@@ -33,7 +33,10 @@ end (the equivalence oracle).
 
 from __future__ import annotations
 
+from array import array
 from collections import OrderedDict
+
+import numpy as np
 
 
 class _LRUStatsMixin:
@@ -99,6 +102,12 @@ class LRUCache(_LRUStatsMixin):
         """Non-mutating lookup (no LRU update, no fill, no stats)."""
         return (addr >> self.line_shift) in self._lines
 
+    def lru_lines(self) -> list[int]:
+        """Resident lines in LRU-to-MRU order (the observable recency
+        state; every implementation exposes it for the equivalence
+        tests, whatever its internal storage)."""
+        return list(self._lines)
+
     def reset(self, keep_stats: bool = False) -> None:
         """Invalidate all lines (and by default zero the counters)."""
         self._lines.clear()
@@ -153,6 +162,10 @@ class DictLRUCache(_LRUStatsMixin):
         """Non-mutating lookup (no LRU update, no fill, no stats)."""
         return (addr >> self.line_shift) in self._lines
 
+    def lru_lines(self) -> list[int]:
+        """Resident lines in LRU-to-MRU order."""
+        return list(self._lines)
+
     def reset(self, keep_stats: bool = False) -> None:
         """Invalidate all lines (and by default zero the counters)."""
         self._lines.clear()
@@ -161,4 +174,170 @@ class DictLRUCache(_LRUStatsMixin):
             self.misses = 0
 
 
-__all__ = ["LRUCache", "DictLRUCache"]
+def _pow2_at_least(n: int) -> int:
+    r = 1
+    while r < n:
+        r <<= 1
+    return r
+
+
+class ArrayLRUCache(_LRUStatsMixin):
+    """Exact LRU over a preallocated recency *log* array (ring buffer).
+
+    The recency order lives in a flat ``array('q')`` ring instead of an
+    ``OrderedDict``'s linked list: every access appends its line at the
+    log tail, a position index (``line -> log index``) marks which log
+    entry is each line's *current* one, and eviction scans forward from
+    the log head, skipping entries whose position no longer matches
+    (stale appends superseded by a later touch).  Amortized O(1): every
+    log slot is written once and consumed at most once.
+
+    When the ring fills (``tail - head == ring size``, which needs a
+    long hit streak — hits append without consuming), it is *compacted*
+    with one vectorized pass: ``np.argsort`` of the live positions
+    rewrites the ring prefix in LRU order and renumbers the index.
+    ``compactions`` counts these; on eviction-heavy streams it stays 0
+    because misses consume log slots as fast as hits produce them.
+
+    Same observable contract as :class:`LRUCache` (bit-identical hits,
+    misses, eviction order — property-tested), but the recency state is
+    a flat int64 buffer: ``np.frombuffer`` exposes it zero-copy to
+    NumPy, which is what the planned cross-process L2 sharding
+    (ROADMAP item 2) needs — a shared-memory ring is mergeable, a
+    linked-list ``OrderedDict`` is not.  :meth:`probe_lines` gives the
+    vectorized membership probe over the tag array.
+    """
+
+    #: Extra ring slots beyond capacity so a warp-sized batch can append
+    #: without mid-batch compaction checks (the vector front end
+    #: reserves headroom once per batch instead).
+    MIN_HEADROOM = 64
+
+    __slots__ = (
+        "num_lines", "line_shift", "hits", "misses", "compactions",
+        "_pos", "_ring", "_ring_np", "_ring_size", "_rmask", "_ht",
+    )
+
+    def __init__(self, capacity_bytes: int, line_size: int):
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ValueError("line_size must be a positive power of two")
+        if capacity_bytes < line_size:
+            raise ValueError("capacity smaller than one line")
+        self.num_lines = capacity_bytes // line_size
+        self.line_shift = line_size.bit_length() - 1
+        self.hits = 0
+        self.misses = 0
+        self.compactions = 0
+        size = _pow2_at_least(
+            max(4 * self.num_lines, self.num_lines + self.MIN_HEADROOM)
+        )
+        self._ring_size = size
+        self._rmask = size - 1
+        self._ring = array("q", bytes(8 * size))
+        self._ring_np = np.frombuffer(self._ring, dtype=np.int64)
+        self._pos: dict[int, int] = {}
+        # [head, tail] as a list so flattened fast paths can alias it;
+        # both are *absolute* log indices (monotonic), masked into the
+        # ring on use.
+        self._ht = [0, 0]
+
+    def access(self, addr: int) -> bool:
+        """Access one byte address; return True on hit.  Misses allocate
+        (and evict LRU if full)."""
+        line = addr >> self.line_shift
+        pos = self._pos
+        ht = self._ht
+        tail = ht[1]
+        hit = pos.get(line, -1) >= 0
+        self._ring[tail & self._rmask] = line
+        pos[line] = tail
+        ht[1] = tail + 1
+        if hit:
+            self.hits += 1
+            if ht[1] - ht[0] == self._ring_size:
+                self._compact()
+            return True
+        self.misses += 1
+        if len(pos) > self.num_lines:
+            self._evict_one()
+        elif ht[1] - ht[0] == self._ring_size:
+            self._compact()
+        return False
+
+    def _evict_one(self) -> None:
+        """Remove the least-recently-used line: scan from the log head,
+        skipping superseded entries."""
+        pos = self._pos
+        pget = pos.get
+        ring = self._ring
+        rmask = self._rmask
+        ht = self._ht
+        h = ht[0]
+        while True:
+            victim = ring[h & rmask]
+            at = h
+            h += 1
+            if pget(victim, -1) == at:
+                del pos[victim]
+                break
+        ht[0] = h
+
+    def _compact(self) -> None:
+        """Rewrite the ring prefix in LRU order (vectorized argsort of
+        the live positions) and renumber the index in place.
+
+        Mutates ``_pos`` and ``_ht`` in place — never rebinds them —
+        because the vector memory front end keeps flat aliases to both.
+        """
+        pos = self._pos
+        n = len(pos)
+        if n:
+            lines = np.fromiter(pos.keys(), np.int64, n)
+            stamps = np.fromiter(pos.values(), np.int64, n)
+            ordered = lines[np.argsort(stamps, kind="stable")]
+            self._ring_np[:n] = ordered
+            pos.clear()
+            pos.update(zip(ordered.tolist(), range(n)))
+        self._ht[0] = 0
+        self._ht[1] = n
+        self.compactions += 1
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating lookup (no LRU update, no fill, no stats)."""
+        return (addr >> self.line_shift) in self._pos
+
+    def probe_lines(self, lines: "np.ndarray") -> "np.ndarray":
+        """Vectorized non-mutating membership probe: a boolean per line
+        address (not byte address), against the tag array.
+
+        Compacts first so the ring prefix *is* the resident tag vector,
+        then one ``np.isin`` resolves the whole batch — the
+        tag-compare primitive a sharded L2 serves lookups with.
+        """
+        self._compact()
+        return np.isin(lines, self._ring_np[: len(self._pos)])
+
+    def lru_lines(self) -> list[int]:
+        """Resident lines in LRU-to-MRU order."""
+        return [ln for ln, _ in sorted(self._pos.items(), key=lambda kv: kv[1])]
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return len(self._pos)
+
+    def reset(self, keep_stats: bool = False) -> None:
+        """Invalidate all lines (and by default zero the counters).
+
+        In-place (dict ``clear``, list element assignment): the vector
+        front end keeps flat references into this state."""
+        self._pos.clear()
+        self._ht[0] = 0
+        self._ht[1] = 0
+        if not keep_stats:
+            self.hits = 0
+            self.misses = 0
+            self.compactions = 0
+
+
+__all__ = ["LRUCache", "DictLRUCache", "ArrayLRUCache"]

@@ -111,6 +111,10 @@ class SimCounters:
     mem_dedup_txns: int = 0
     mem_batch_l1_hits: int = 0
     mem_batch_l2_hits: int = 0
+    #: Vectorized DRAM drains taken by the ``vector`` front end (zero
+    #: under the other front ends, and under the default threshold for
+    #: warp-sized traffic — see ``ArrayDRAMModel.VECTOR_THRESHOLD``).
+    mem_vector_drains: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -374,8 +378,9 @@ class GPUSimulator:
     default interned/segment-compacted path) or ``"reference"`` (the
     original per-instruction loop).  ``mem_front_end`` independently
     selects the memory hierarchy implementation: ``"fast"`` (the
-    default batched front end) or ``"reference"`` (the pre-fast-path
-    oracle).  All four combinations produce bit-identical
+    default batched front end), ``"reference"`` (the pre-fast-path
+    oracle) or ``"vector"`` (the array-backed front end).  All
+    engine x front-end combinations produce bit-identical
     :class:`LaunchResult`\\ s; the reference engine sets ``counters``
     to ``None``.
     """
@@ -702,6 +707,7 @@ class GPUSimulator:
         md0 = mem.dedup_txns
         m1h0 = mem.batch_l1_hits
         m2h0 = mem.batch_l2_hits
+        mvd0 = mem.vector_drains
 
         # One global event per SM *window*, not per instruction.  Warps
         # on one SM interact with the rest of the machine only through
@@ -1189,6 +1195,7 @@ class GPUSimulator:
             mem_dedup_txns=mem.dedup_txns - md0,
             mem_batch_l1_hits=mem.batch_l1_hits - m1h0,
             mem_batch_l2_hits=mem.batch_l2_hits - m2h0,
+            mem_vector_drains=mem.vector_drains - mvd0,
         )
         return LaunchResult(
             launch_id=launch.launch_id,

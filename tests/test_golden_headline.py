@@ -30,10 +30,20 @@ FIXTURE = Path(__file__).parent / "fixtures" / "golden_headline.json"
 # floating-point differences across BLAS builds / platforms.
 REL_TOL = 1e-9
 
+#: Every registered memory front end must reproduce the pinned launch
+#: IPCs exactly — a silent timing divergence in any of them fails
+#: tier-1 here, not just the property suite.
+FRONT_ENDS = ("fast", "reference", "vector")
+
 
 def _golden() -> dict:
     with open(FIXTURE) as fh:
         return json.load(fh)["kernels"]
+
+
+def _golden_front_end_ipc() -> dict:
+    with open(FIXTURE) as fh:
+        return json.load(fh)["front_end_ipc"]
 
 
 def _measure(name: str, entry: dict) -> dict:
@@ -67,6 +77,38 @@ def test_fixture_covers_three_kernels():
     assert len(_golden()) == 3
 
 
+def _measure_launch_ipc(name: str, entry: dict, front_end: str) -> float:
+    """Simulate the first launch of ``name`` through one front end and
+    return its IPC (issued warp instructions per wall cycle)."""
+    from repro.config import GPUConfig
+    from repro.sim.gpu import GPUSimulator
+
+    kernel = get_workload(name, scale=entry["scale"], seed=entry["seed"])
+    sim = GPUSimulator(GPUConfig(), engine="compact", mem_front_end=front_end)
+    result = sim.run_launch(kernel.launches[0])
+    return result.issued_warp_insts / result.wall_cycles
+
+
+@pytest.mark.parametrize("front_end", list(FRONT_ENDS))
+@pytest.mark.parametrize("name", sorted(["stream", "spmv", "lbm", "mri"]))
+def test_front_end_launch_ipc_pinned(name, front_end):
+    """Cross-front-end golden pins on the memory-bound kernels: the
+    pinned launch IPC (generated via the ``fast`` front end) must be
+    reproduced to float tolerance by every registered front end."""
+    entry = _golden_front_end_ipc()[name]
+    got = _measure_launch_ipc(name, entry, front_end)
+    assert got == pytest.approx(entry["launch_ipc"], rel=REL_TOL), (
+        f"{name}/{front_end}: launch IPC drifted from the golden value"
+    )
+
+
+def test_front_end_ipc_fixture_covers_memory_bound_kernels():
+    from repro.sim.memory import MEMORY_FRONT_ENDS
+
+    assert sorted(_golden_front_end_ipc()) == ["lbm", "mri", "spmv", "stream"]
+    assert set(FRONT_ENDS) == set(MEMORY_FRONT_ENDS)
+
+
 def regenerate() -> None:
     """Recompute every golden entry in place (run as a script)."""
     with open(FIXTURE) as fh:
@@ -74,6 +116,9 @@ def regenerate() -> None:
     for name, entry in doc["kernels"].items():
         doc["kernels"][name] = _measure(name, entry)
         print(f"{name}: {doc['kernels'][name]}")
+    for name, entry in doc.setdefault("front_end_ipc", {}).items():
+        entry["launch_ipc"] = _measure_launch_ipc(name, entry, "fast")
+        print(f"{name}: {entry}")
     with open(FIXTURE, "w") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")

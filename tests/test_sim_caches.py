@@ -4,14 +4,18 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.sim.caches import DictLRUCache, LRUCache
+from repro.sim.caches import ArrayLRUCache, DictLRUCache, LRUCache
 
 
-@pytest.fixture(params=[LRUCache, DictLRUCache], ids=["ordered", "dict"])
+@pytest.fixture(
+    params=[LRUCache, DictLRUCache, ArrayLRUCache],
+    ids=["ordered", "dict", "array"],
+)
 def Cache(request):
-    """Both LRU implementations must satisfy the same contract; the
+    """All LRU implementations must satisfy the same contract: the
     plain-dict variant is the measured-and-rejected alternative kept as
-    documentation (see caches.py docstring and DESIGN.md §8)."""
+    documentation (see caches.py docstring and DESIGN.md §8), and the
+    ring-log array variant backs the vector front end (DESIGN.md §11)."""
     return request.param
 
 
@@ -107,3 +111,81 @@ class TestLRUCache:
             c.access(a)
         distinct_lines = len({a >> 7 for a in addrs})
         assert c.misses == distinct_lines
+
+
+class TestArrayLRUCacheRing:
+    """Ring-log specifics of :class:`ArrayLRUCache`: compaction under
+    hit streaks, the vectorized membership probe, and eviction-order
+    equivalence with the OrderedDict implementation."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(addrs=st.lists(st.integers(0, 1 << 14), min_size=1, max_size=400))
+    def test_bit_identical_to_ordered_on_random_streams(self, addrs):
+        a = LRUCache(8 * 128, 128)
+        b = ArrayLRUCache(8 * 128, 128)
+        for addr in addrs:
+            assert a.access(addr) == b.access(addr)
+        assert a.lru_lines() == b.lru_lines()
+        assert (a.hits, a.misses, a.occupancy) == (
+            b.hits, b.misses, b.occupancy
+        )
+
+    def test_hit_streak_forces_compaction(self):
+        # Hits append log entries without consuming them, so a long
+        # enough streak must wrap the ring and compact; the observable
+        # LRU state must be unchanged by compaction.
+        a = LRUCache(2 * 128, 128)
+        b = ArrayLRUCache(2 * 128, 128)
+        for i in range(10 * b._ring_size):
+            addr = (i % 2) * 128
+            assert a.access(addr) == b.access(addr)
+        assert b.compactions > 0
+        assert a.lru_lines() == b.lru_lines()
+        assert (a.hits, a.misses) == (b.hits, b.misses)
+
+    def test_eviction_skips_stale_log_entries(self):
+        c = ArrayLRUCache(2 * 128, 128)
+        c.access(0)        # line 0 at log 0
+        c.access(128)      # line 1 at log 1
+        c.access(0)        # line 0 refreshed at log 2 (log 0 now stale)
+        c.access(256)      # full: must evict line 1, not line 0
+        assert c.contains(0)
+        assert not c.contains(128)
+        assert c.contains(256)
+        assert c.lru_lines() == [0, 2]
+
+    def test_probe_lines_matches_contains_and_does_not_mutate(self):
+        import numpy as np
+
+        c = ArrayLRUCache(4 * 128, 128)
+        for addr in (0, 128, 384, 0, 640):
+            c.access(addr)
+        hits_before, misses_before = c.hits, c.misses
+        order_before = c.lru_lines()
+        lines = np.array([0, 1, 2, 3, 4, 5], dtype=np.int64)
+        got = c.probe_lines(lines)
+        want = [c.contains(line * 128) for line in lines.tolist()]
+        assert got.tolist() == want
+        assert (c.hits, c.misses) == (hits_before, misses_before)
+        assert c.lru_lines() == order_before
+
+    def test_reset_mutates_state_in_place(self):
+        # The vector front end aliases ``_pos``/``_ht``; reset must
+        # clear them in place, never rebind.
+        c = ArrayLRUCache(4 * 128, 128)
+        pos, ht = c._pos, c._ht
+        for addr in range(0, 1024, 128):
+            c.access(addr)
+        c.reset()
+        assert c._pos is pos and c._ht is ht
+        assert not pos and ht == [0, 0]
+        assert not c.access(0)  # miss again after reset
+
+    def test_compact_mutates_index_in_place(self):
+        c = ArrayLRUCache(2 * 128, 128)
+        pos, ht = c._pos, c._ht
+        c.access(0)
+        c.access(128)
+        c._compact()
+        assert c._pos is pos and c._ht is ht
+        assert c.lru_lines() == [0, 1]

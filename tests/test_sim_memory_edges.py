@@ -1,0 +1,232 @@
+"""Memory-subsystem edge cases, run against all three front ends.
+
+The property battery in ``test_sim_memory_fastpath.py`` explores the
+bulk of the state space randomly; this module pins the degenerate
+geometries and instruction shapes where batched/array fast paths are
+most likely to diverge from the oracle: capacity-1 caches, an L2
+smaller than a single transaction batch, self-eviction inside one
+instruction, non-power-of-two strides that alias into one bank, and
+zero-transaction instructions.  Every case is a differential test —
+each front end against a fresh reference oracle — so the expected
+behaviour is defined by the oracle, never hand-computed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.sim.memory import (
+    MEMORY_FRONT_ENDS,
+    ReferenceMemoryHierarchy,
+    VectorMemoryHierarchy,
+    make_memory,
+)
+from tests.test_sim_memory_fastpath import hierarchy_state
+
+FRONT_ENDS = ["fast", "reference", "vector"]
+
+
+def _assert_differential(cfg: GPUConfig, front_end: str, seq) -> None:
+    """Drive ``seq`` through ``front_end`` and a fresh oracle; compare
+    every completion time and the final hierarchy state."""
+    mem = make_memory(cfg, front_end)
+    ref = ReferenceMemoryHierarchy(cfg)
+    for sm_id, addr, spread, num_req, now in seq:
+        got = mem.load(sm_id, addr, spread, num_req, now)
+        want = ref.load(sm_id, addr, spread, num_req, now)
+        assert got == want, (sm_id, addr, spread, num_req, now)
+    assert hierarchy_state(mem) == hierarchy_state(ref)
+
+
+def test_front_end_list_matches_registry():
+    # The parametrization below must cover every registered front end.
+    assert set(FRONT_ENDS) == set(MEMORY_FRONT_ENDS)
+
+
+@pytest.mark.parametrize("front_end", FRONT_ENDS)
+class TestSingleLineCaches:
+    """Capacity-1 L1 and L2: every distinct-line access evicts the
+    previous resident, so the LRU 'order' is a single slot and the
+    eviction machinery runs on almost every transaction."""
+
+    def _cfg(self) -> GPUConfig:
+        # 1 KiB capacity with 1 KiB lines: exactly one line per cache.
+        return GPUConfig(
+            num_sms=2, l1_kib=1, l1_line=1024, l2_kib=1, l2_line=1024,
+            dram_channels=2, dram_banks=2,
+        )
+
+    def test_alternating_lines_thrash(self, front_end):
+        seq = [
+            (0, addr, 0, 1, now * 10)
+            for now, addr in enumerate([0, 2048, 0, 2048, 4096, 0] * 4)
+        ]
+        _assert_differential(self._cfg(), front_end, seq)
+
+    def test_batch_through_single_line_cache(self, front_end):
+        # A 16-transaction batch through a one-line hierarchy: every
+        # transaction past the first misses both levels.
+        seq = [(0, 0, 1024, 16, 0), (1, 512, 2048, 8, 50), (0, 0, 0, 4, 90)]
+        _assert_differential(self._cfg(), front_end, seq)
+
+
+@pytest.mark.parametrize("front_end", FRONT_ENDS)
+class TestL2SmallerThanBatch:
+    """L2 with 8 lines fed 32-transaction batches: the shared level
+    wraps around within one instruction, so batch-local L2 state must
+    still follow strict per-transaction order."""
+
+    def _cfg(self) -> GPUConfig:
+        return GPUConfig(
+            num_sms=2, l1_kib=1, l1_line=128,   # 8 L1 lines
+            l2_kib=1, l2_line=128,              # 8 L2 lines < 32 txns
+            dram_channels=3, dram_banks=4,
+        )
+
+    def test_batch_wraps_l2(self, front_end):
+        seq = [
+            (0, 0, 128, 32, 0),        # 32 distinct lines through 8-line L2
+            (1, 0, 128, 32, 10),       # same window from the other SM
+            (0, 4096, 256, 32, 20),    # strided, still wider than L2
+        ]
+        _assert_differential(self._cfg(), front_end, seq)
+
+    def test_revisit_after_wrap_misses(self, front_end):
+        # After wrapping, the batch's own first lines are gone again —
+        # revisiting them must miss in both levels (no stale hits from
+        # batch-local caching of probe results).
+        seq = [(0, 0, 128, 32, 0), (0, 0, 128, 8, 100)]
+        _assert_differential(self._cfg(), front_end, seq)
+
+
+@pytest.mark.parametrize("front_end", FRONT_ENDS)
+class TestSelfEvictionWithinOneInstruction:
+    """One instruction larger than the L1's line capacity: the batch
+    evicts its own earlier lines before it finishes."""
+
+    def _cfg(self) -> GPUConfig:
+        return GPUConfig(
+            num_sms=1, l1_kib=1, l1_line=128,   # 8 lines < 32 txns
+            l2_kib=64, l2_line=128,             # roomy L2 isolates L1 churn
+            dram_channels=2, dram_banks=2,
+        )
+
+    def test_batch_evicts_own_head(self, front_end):
+        seq = [
+            (0, 0, 128, 32, 0),
+            # Immediately revisit the head of the previous batch: its
+            # lines were self-evicted from L1 but still sit in L2.
+            (0, 0, 128, 4, 50),
+        ]
+        _assert_differential(self._cfg(), front_end, seq)
+
+    def test_interleaved_self_evicting_batches(self, front_end):
+        seq = [
+            (0, i * 64, 128, 32, i * 7) for i in range(12)
+        ]
+        _assert_differential(self._cfg(), front_end, seq)
+
+
+@pytest.mark.parametrize("front_end", FRONT_ENDS)
+class TestNonPowerOfTwoStrides:
+    """Strides that are not multiples of the line size (and not powers
+    of two) alias irregularly across lines and DRAM banks — both the
+    modulo bank path (12 banks) and the mask path (8 banks)."""
+
+    STRIDES = [77, 129, 384, 1000, 3 * 128 + 1]
+
+    def test_modulo_bank_path(self, front_end):
+        cfg = GPUConfig(
+            num_sms=2, l1_kib=1, l2_kib=4,
+            dram_channels=3, dram_banks=4,   # 12 banks: modulo
+        )
+        seq = [
+            (sm, 13 * i, stride, 24, 5 * i)
+            for i, stride in enumerate(self.STRIDES)
+            for sm in (0, 1)
+        ]
+        _assert_differential(cfg, front_end, seq)
+
+    def test_mask_bank_path(self, front_end):
+        cfg = GPUConfig(
+            num_sms=2, l1_kib=1, l2_kib=4,
+            dram_channels=2, dram_banks=4,   # 8 banks: mask
+        )
+        seq = [
+            (sm, 13 * i, stride, 24, 5 * i)
+            for i, stride in enumerate(self.STRIDES)
+            for sm in (0, 1)
+        ]
+        _assert_differential(cfg, front_end, seq)
+
+    def test_same_bank_aliasing_stride(self, front_end):
+        # Stride = num_banks * line bytes: every transaction of every
+        # batch lands in bank 0, maximizing queueing interaction.
+        cfg = GPUConfig(
+            num_sms=1, l1_kib=1, l2_kib=2,
+            dram_channels=2, dram_banks=4,
+        )
+        stride = 8 * 128
+        seq = [(0, k * stride, stride, 16, k) for k in range(8)]
+        _assert_differential(cfg, front_end, seq)
+
+
+@pytest.mark.parametrize("front_end", FRONT_ENDS)
+class TestZeroTransactionInstructions:
+    """``num_req == 0``: a degenerate instruction performs no
+    transactions, touches no state, and completes at the L1 floor."""
+
+    def test_returns_l1_floor_and_touches_nothing(self, front_end):
+        cfg = GPUConfig(num_sms=1, l1_kib=1, l2_kib=2)
+        mem = make_memory(cfg, front_end)
+        ref = ReferenceMemoryHierarchy(cfg)
+        before = hierarchy_state(mem)
+        for now in (0, 17, 1000):
+            got = mem.load(0, 4096, 128, 0, now)
+            assert got == ref.load(0, 4096, 128, 0, now)
+            assert got == now + cfg.l1_latency
+        # No cache, DRAM or statistics state may have moved.
+        assert hierarchy_state(mem) == before
+
+    def test_zero_txn_between_real_traffic(self, front_end):
+        cfg = GPUConfig(num_sms=1, l1_kib=1, l2_kib=2)
+        seq = [
+            (0, 0, 128, 8, 0),
+            (0, 512, 256, 0, 10),   # zero-transaction in the middle
+            (0, 0, 128, 8, 20),
+        ]
+        _assert_differential(cfg, front_end, seq)
+
+
+class TestVectorSpecificEdges:
+    """Edges unique to the array-backed representation: ring headroom
+    exhaustion (hit streaks fill the log) and the forced-vector drain
+    on degenerate geometries."""
+
+    def test_hit_streak_compaction_stays_equivalent(self):
+        # A tiny L1 hammered with hits fills the ring log (hits append
+        # without consuming) until compaction; equivalence must hold
+        # across compactions, including batch-path headroom rebuilds.
+        cfg = GPUConfig(num_sms=1, l1_kib=1, l1_line=512, l2_kib=2)
+        vec = VectorMemoryHierarchy(cfg)
+        ref = ReferenceMemoryHierarchy(cfg)
+        for i in range(4000):
+            addr = (i % 2) * 512
+            assert vec.load(0, addr, 0, 1, i) == ref.load(0, addr, 0, 1, i)
+        assert sum(c.compactions for c in vec.l1s) > 0
+        assert hierarchy_state(vec) == hierarchy_state(ref)
+
+    def test_forced_vector_drain_on_degenerate_geometry(self):
+        cfg = GPUConfig(
+            num_sms=1, l1_kib=1, l1_line=1024, l2_kib=1, l2_line=1024,
+            dram_channels=2, dram_banks=2,
+        )
+        vec = VectorMemoryHierarchy(cfg, vector_threshold=1)
+        ref = ReferenceMemoryHierarchy(cfg)
+        for k in range(6):
+            assert vec.load(0, k * 128, 1024, 16, k * 3) == ref.load(
+                0, k * 128, 1024, 16, k * 3
+            )
+        assert vec.vector_drains > 0
+        assert hierarchy_state(vec) == hierarchy_state(ref)

@@ -1,13 +1,16 @@
-"""Equivalence proofs for the batched memory fast path.
+"""Equivalence proofs for the batched and array-backed front ends.
 
-The fast front end (:class:`repro.sim.memory.MemoryHierarchy`) must be
-bit-identical — timing, cache contents and LRU order, DRAM bank state,
-jitter stream, statistics — to the reference front end
+Every non-oracle front end (:class:`repro.sim.memory.MemoryHierarchy`
+and the array-backed :class:`repro.sim.memory.VectorMemoryHierarchy`)
+must be bit-identical — timing, cache contents and LRU order, DRAM
+bank state, jitter stream, statistics — to the reference front end
 (:class:`repro.sim.memory.ReferenceMemoryHierarchy`), which preserves
 the pre-fast-path per-transaction implementation as the oracle.  These
 tests drive randomized ``(sm_id, addr, spread, num_req)`` sequences
-through both and compare *all* observable state, then do the same at
-the system level across the engine x front-end grid on real kernels.
+through all of them and compare *all* observable state (for the vector
+front end through the representation-independent ``lru_lines()``
+projection), then do the same at the system level across the
+engine x front-end grid on real kernels.
 
 This is also where the former ``load``/``load1`` duplication hazard is
 pinned down: there is exactly one fast ``load`` entry point for every
@@ -29,6 +32,7 @@ from repro.sim.memory import (
     MEMORY_FRONT_ENDS,
     MemoryHierarchy,
     ReferenceMemoryHierarchy,
+    VectorMemoryHierarchy,
     make_memory,
 )
 
@@ -52,11 +56,13 @@ def tiny_config(**overrides) -> GPUConfig:
 
 
 def hierarchy_state(mem):
-    """Every observable of a front end, LRU order included."""
+    """Every observable of a front end, LRU order included —
+    representation-independent via ``lru_lines()``, so OrderedDict-,
+    dict- and ring-log-backed caches compare on equal terms."""
     return {
-        "l1_lines": [list(c._lines) for c in mem.l1s],
+        "l1_lines": [c.lru_lines() for c in mem.l1s],
         "l1_stats": [(c.hits, c.misses) for c in mem.l1s],
-        "l2_lines": list(mem.l2._lines),
+        "l2_lines": mem.l2.lru_lines(),
         "l2_stats": (mem.l2.hits, mem.l2.misses),
         "dram": (
             list(mem.dram.free_at),
@@ -86,101 +92,193 @@ instructions = st.lists(
 )
 
 
+@pytest.mark.parametrize("front_end", ["fast", "vector", "reference"])
 class TestFrontEndEquivalence:
+    """Three-way differential battery: every registered front end is
+    held to the reference oracle on the same random instruction
+    streams.  (``reference`` vs a second ``reference`` instance is the
+    trivial row; it keeps the grid total and guards the oracle's own
+    determinism.)"""
+
     @settings(max_examples=60, deadline=None)
     @given(seq=instructions)
-    def test_fast_matches_reference(self, seq):
+    def test_matches_reference(self, front_end, seq):
         cfg = tiny_config()
-        fast = MemoryHierarchy(cfg)
+        mem = make_memory(cfg, front_end)
         ref = ReferenceMemoryHierarchy(cfg)
         now = 0
         for sm_id, addr, spread, num_req, dt in seq:
             now += dt
-            got = fast.load(sm_id, addr, spread, num_req, now)
+            got = mem.load(sm_id, addr, spread, num_req, now)
             want = ref.load(sm_id, addr, spread, num_req, now)
             assert got == want
-        assert hierarchy_state(fast) == hierarchy_state(ref)
+        assert hierarchy_state(mem) == hierarchy_state(ref)
 
     @settings(max_examples=30, deadline=None)
     @given(seq=instructions)
-    def test_power_of_two_banks_take_mask_path(self, seq):
-        # 2 * 4 = 8 banks: DRAMModel precomputes a bank mask and the
-        # line-to-bank map becomes an AND; results must not change.
+    def test_power_of_two_banks_take_mask_path(self, front_end, seq):
+        # 2 * 4 = 8 banks: the DRAM models precompute a bank mask and
+        # the line-to-bank map becomes an AND; results must not change.
         cfg = tiny_config(dram_channels=2, dram_banks=4)
-        fast = MemoryHierarchy(cfg)
+        mem = make_memory(cfg, front_end)
         ref = ReferenceMemoryHierarchy(cfg)
-        assert fast.dram.bank_mask == 7
+        assert mem.dram.bank_mask == 7
         now = 0
         for sm_id, addr, spread, num_req, dt in seq:
             now += dt
-            assert fast.load(sm_id, addr, spread, num_req, now) == ref.load(
+            assert mem.load(sm_id, addr, spread, num_req, now) == ref.load(
                 sm_id, addr, spread, num_req, now
             )
-        assert hierarchy_state(fast) == hierarchy_state(ref)
+        assert hierarchy_state(mem) == hierarchy_state(ref)
 
     @settings(max_examples=30, deadline=None)
     @given(seq=instructions)
-    def test_equivalence_survives_reset(self, seq):
-        # The fast path keeps flat references into cache/DRAM state;
+    def test_equivalence_survives_reset(self, front_end, seq):
+        # The fast paths keep flat references into cache/DRAM state;
         # reset() must invalidate contents without stranding them.
         cfg = tiny_config()
-        fast = MemoryHierarchy(cfg)
+        mem = make_memory(cfg, front_end)
         ref = ReferenceMemoryHierarchy(cfg)
         half = len(seq) // 2
         now = 0
         for sm_id, addr, spread, num_req, dt in seq[:half]:
             now += dt
-            fast.load(sm_id, addr, spread, num_req, now)
+            mem.load(sm_id, addr, spread, num_req, now)
             ref.load(sm_id, addr, spread, num_req, now)
-        fast.reset()
+        mem.reset()
         ref.reset()
         now = 0
         for sm_id, addr, spread, num_req, dt in seq[half:]:
             now += dt
-            assert fast.load(sm_id, addr, spread, num_req, now) == ref.load(
+            assert mem.load(sm_id, addr, spread, num_req, now) == ref.load(
                 sm_id, addr, spread, num_req, now
             )
-        assert hierarchy_state(fast) == hierarchy_state(ref)
+        assert hierarchy_state(mem) == hierarchy_state(ref)
 
-    def test_dedup_counts_only_consecutive_same_line(self):
+    @settings(max_examples=40, deadline=None)
+    @given(seq=instructions)
+    def test_batched_load_matches_sequential_singles(self, front_end, seq):
+        # Batched-vs-sequential: one n-transaction ``load`` must equal
+        # the max over n single-transaction loads of the expanded
+        # addresses at the same ``now``, and leave identical hierarchy
+        # state — the defining decomposition of the batch semantics.
         cfg = tiny_config()
-        fast = MemoryHierarchy(cfg)
+        mem = make_memory(cfg, front_end)
         ref = ReferenceMemoryHierarchy(cfg)
-        # 8 transactions 4 bytes apart: all in line 0 -> 7 dedups.
-        assert fast.load(0, 0, 4, 8, 0) == ref.load(0, 0, 4, 8, 0)
-        assert fast.dedup_txns == 7
-        # Alternating lines never deduplicate (recency updates are
-        # observable), even though every line repeats.
-        fast2 = MemoryHierarchy(cfg)
-        ref2 = ReferenceMemoryHierarchy(cfg)
-        for addr in (0, 128, 0, 128):
-            assert fast2.load(0, addr, 256, 2, 10) == ref2.load(
-                0, addr, 256, 2, 10
+        now = 0
+        for sm_id, addr, spread, num_req, dt in seq:
+            now += dt
+            got = mem.load(sm_id, addr, spread, num_req, now)
+            want = max(
+                ref.load(sm_id, addr + k * spread, 0, 1, now)
+                for k in range(num_req)
             )
-        assert fast2.dedup_txns == 0
-        assert hierarchy_state(fast2) == hierarchy_state(ref2)
+            assert got == want
+        assert hierarchy_state(mem) == hierarchy_state(ref)
 
-    def test_single_transaction_path_matches_batch_of_one(self):
+    def test_single_transaction_path_matches_batch_of_one(self, front_end):
         # The num_req == 1 specialization against the oracle, level by
         # level: DRAM miss, L2 hit (other SM), then L1 hit.
         cfg = tiny_config()
-        fast = MemoryHierarchy(cfg)
+        mem = make_memory(cfg, front_end)
         ref = ReferenceMemoryHierarchy(cfg)
         for sm_id, now in ((0, 0), (1, 100), (0, 200)):
-            assert fast.load(sm_id, 512, 0, 1, now) == ref.load(
+            assert mem.load(sm_id, 512, 0, 1, now) == ref.load(
                 sm_id, 512, 0, 1, now
             )
-        assert hierarchy_state(fast) == hierarchy_state(ref)
+        assert hierarchy_state(mem) == hierarchy_state(ref)
 
-    def test_registry(self):
-        assert set(MEMORY_FRONT_ENDS) == {"fast", "reference"}
+
+@pytest.mark.parametrize("front_end", ["fast", "vector"])
+class TestBatchCounterParity:
+    """The batch engagement counters (``batches`` / ``dedup_txns`` /
+    ``batch_l1_hits`` / ``batch_l2_hits``) of every batched front end
+    agree with the fast path's documented semantics."""
+
+    def test_dedup_counts_only_consecutive_same_line(self, front_end):
         cfg = tiny_config()
-        assert isinstance(make_memory(cfg), MemoryHierarchy)
-        assert isinstance(
-            make_memory(cfg, "reference"), ReferenceMemoryHierarchy
+        mem = make_memory(cfg, front_end)
+        ref = ReferenceMemoryHierarchy(cfg)
+        # 8 transactions 4 bytes apart: all in line 0 -> 7 dedups.
+        assert mem.load(0, 0, 4, 8, 0) == ref.load(0, 0, 4, 8, 0)
+        assert mem.dedup_txns == 7
+        # Alternating lines never deduplicate (recency updates are
+        # observable), even though every line repeats.
+        mem2 = make_memory(cfg, front_end)
+        ref2 = ReferenceMemoryHierarchy(cfg)
+        for addr in (0, 128, 0, 128):
+            assert mem2.load(0, addr, 256, 2, 10) == ref2.load(
+                0, addr, 256, 2, 10
+            )
+        assert mem2.dedup_txns == 0
+        assert hierarchy_state(mem2) == hierarchy_state(ref2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seq=instructions)
+    def test_counters_match_fast(self, front_end, seq):
+        cfg = tiny_config()
+        mem = make_memory(cfg, front_end)
+        fast = MemoryHierarchy(cfg)
+        now = 0
+        for sm_id, addr, spread, num_req, dt in seq:
+            now += dt
+            assert mem.load(sm_id, addr, spread, num_req, now) == fast.load(
+                sm_id, addr, spread, num_req, now
+            )
+        assert (
+            mem.batches, mem.dedup_txns, mem.batch_l1_hits, mem.batch_l2_hits
+        ) == (
+            fast.batches, fast.dedup_txns,
+            fast.batch_l1_hits, fast.batch_l2_hits,
         )
-        with pytest.raises(ValueError, match="unknown memory front end"):
-            make_memory(cfg, "turbo")
+
+
+class TestVectorDrainEquivalence:
+    """The vector front end with the DRAM vectorization threshold
+    forced to 1 routes every multi-transaction instruction through the
+    careful path and every collected miss drain through the fully
+    vectorized ``ArrayDRAMModel._access_n_vector`` — and must still be
+    bit-identical to the oracle."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seq=instructions)
+    def test_forced_vector_drain_matches_reference(self, seq):
+        cfg = tiny_config()
+        vec = VectorMemoryHierarchy(cfg, vector_threshold=1)
+        ref = ReferenceMemoryHierarchy(cfg)
+        now = 0
+        for sm_id, addr, spread, num_req, dt in seq:
+            now += dt
+            assert vec.load(sm_id, addr, spread, num_req, now) == ref.load(
+                sm_id, addr, spread, num_req, now
+            )
+        assert hierarchy_state(vec) == hierarchy_state(ref)
+
+    def test_forced_threshold_engages_vector_drains(self):
+        cfg = tiny_config()
+        vec = VectorMemoryHierarchy(cfg, vector_threshold=1)
+        # A 32-transaction streaming miss batch must take one
+        # vectorized drain (and report it through the counter the
+        # engine snapshots).
+        vec.load(0, 0, 4096, 32, 0)
+        assert vec.vector_drains == 1
+        assert vec.dram.vector_batches == 1
+        # Under the default threshold warp-sized batches stay scalar.
+        vec_default = VectorMemoryHierarchy(cfg)
+        vec_default.load(0, 0, 4096, 32, 0)
+        assert vec_default.vector_drains == 0
+
+
+def test_registry():
+    assert set(MEMORY_FRONT_ENDS) == {"fast", "reference", "vector"}
+    cfg = tiny_config()
+    assert isinstance(make_memory(cfg), MemoryHierarchy)
+    assert isinstance(
+        make_memory(cfg, "reference"), ReferenceMemoryHierarchy
+    )
+    assert isinstance(make_memory(cfg, "vector"), VectorMemoryHierarchy)
+    with pytest.raises(ValueError, match="unknown memory front end"):
+        make_memory(cfg, "turbo")
 
 
 class TestDRAMBatchEquivalence:
@@ -251,7 +349,7 @@ def test_engine_front_end_grid_bit_identical(kernel, scheduler):
     cfg = GPUConfig(scheduler=scheduler)
     prints = set()
     for engine in ("compact", "reference"):
-        for front_end in ("fast", "reference"):
+        for front_end in ("fast", "reference", "vector"):
             sim = GPUSimulator(cfg, engine=engine, mem_front_end=front_end)
             prints.add(tuple(_fingerprint(sim.run_launch(l)) for l in launches))
     assert len(prints) == 1
