@@ -192,10 +192,14 @@ class ArrayLRUCache(_LRUStatsMixin):
     (stale appends superseded by a later touch).  Amortized O(1): every
     log slot is written once and consumed at most once.
 
-    When the ring fills (``tail - head == ring size``, which needs a
-    long hit streak — hits append without consuming), it is *compacted*
-    with one vectorized pass: ``np.argsort`` of the live positions
-    rewrites the ring prefix in LRU order and renumbers the index.
+    When the ring fills (``tail - head`` reaches the ring size, which
+    needs a long hit streak — hits append without consuming), it is
+    *compacted* with one vectorized pass: ``np.argsort`` of the live
+    positions rewrites the ring prefix in LRU order and renumbers the
+    index.  The fullness triggers test ``>=`` rather than ``==`` so
+    that a caller which batches appends (the vector front end) can
+    never leave occupancy strictly past a boundary that equality-only
+    checks would then miss forever.
     ``compactions`` counts these; on eviction-heavy streams it stays 0
     because misses consume log slots as fast as hits produce them.
 
@@ -254,13 +258,13 @@ class ArrayLRUCache(_LRUStatsMixin):
         ht[1] = tail + 1
         if hit:
             self.hits += 1
-            if ht[1] - ht[0] == self._ring_size:
+            if ht[1] - ht[0] >= self._ring_size:
                 self._compact()
             return True
         self.misses += 1
         if len(pos) > self.num_lines:
             self._evict_one()
-        elif ht[1] - ht[0] == self._ring_size:
+        elif ht[1] - ht[0] >= self._ring_size:
             self._compact()
         return False
 
@@ -308,14 +312,16 @@ class ArrayLRUCache(_LRUStatsMixin):
 
     def probe_lines(self, lines: "np.ndarray") -> "np.ndarray":
         """Vectorized non-mutating membership probe: a boolean per line
-        address (not byte address), against the tag array.
+        address (not byte address), against the resident tag set.
 
-        Compacts first so the ring prefix *is* the resident tag vector,
-        then one ``np.isin`` resolves the whole batch — the
-        tag-compare primitive a sharded L2 serves lookups with.
+        One ``np.isin`` over the position index's keys resolves the
+        whole batch — the tag-compare primitive a sharded L2 serves
+        lookups with.  Genuinely non-mutating: no recency update, no
+        fill, no statistics, and no compaction.
         """
-        self._compact()
-        return np.isin(lines, self._ring_np[: len(self._pos)])
+        n = len(self._pos)
+        tags = np.fromiter(self._pos.keys(), np.int64, n)
+        return np.isin(lines, tags)
 
     def lru_lines(self) -> list[int]:
         """Resident lines in LRU-to-MRU order."""

@@ -407,9 +407,11 @@ class VectorMemoryHierarchy:
     * ``spread >= l1_line`` — transaction lines strictly increase, so
       no same-line dedup can occur and each transaction appends
       exactly one ring entry per level;
-    * ring headroom for ``num_req`` appends at both levels (compacting
-      once if needed) — so the loop needs no per-transaction
-      compaction checks and head/tail stay in locals.
+    * *strict* ring headroom for ``num_req`` appends at both levels
+      (compacting once if needed): the batch must end with occupancy
+      strictly below the ring size, never exactly at it — so the loop
+      needs no per-transaction compaction checks and head/tail stay
+      in locals.
     """
 
     FRONT_END = "vector"
@@ -513,7 +515,7 @@ class VectorMemoryHierarchy:
             ht[1] = tail
             if hit:
                 l1.hits += 1
-                if tail - ht[0] == self._l1_ringsz:
+                if tail - ht[0] >= self._l1_ringsz:
                     l1._compact()
                 return now + self.l1_latency
             l1.misses += 1
@@ -527,7 +529,7 @@ class VectorMemoryHierarchy:
                         del pos[victim]
                         break
                 ht[0] = h
-            elif tail - ht[0] == self._l1_ringsz:
+            elif tail - ht[0] >= self._l1_ringsz:
                 l1._compact()
             l2_pos = self._l2_pos
             l2_get = self._l2_get
@@ -544,7 +546,7 @@ class VectorMemoryHierarchy:
             l2_ht[1] = tail
             if hit:
                 l2.hits += 1
-                if tail - l2_ht[0] == self._l2_ringsz:
+                if tail - l2_ht[0] >= self._l2_ringsz:
                     l2._compact()
                 return now + self.l2_latency
             l2.misses += 1
@@ -558,7 +560,7 @@ class VectorMemoryHierarchy:
                         del l2_pos[victim]
                         break
                 l2_ht[0] = h
-            elif tail - l2_ht[0] == self._l2_ringsz:
+            elif tail - l2_ht[0] >= self._l2_ringsz:
                 l2._compact()
             dram = self.dram
             dline = addr >> self._dram_line_shift
@@ -593,17 +595,22 @@ class VectorMemoryHierarchy:
         head = ht[0]
         tail = ht[1]
         l1_ringsz = self._l1_ringsz
-        if tail + num_req - head > l1_ringsz:
+        # Strict headroom (>=): a batch must not even *end* with
+        # tail - head == ring size, because later appends check
+        # fullness only after appending — once occupancy passes the
+        # ring size those triggers can never fire again and the ring
+        # would wrap over live log entries.
+        if tail + num_req - head >= l1_ringsz:
             l1._compact()
             head = ht[0]
             tail = ht[1]
-            if tail + num_req - head > l1_ringsz:
+            if tail + num_req - head >= l1_ringsz:
                 return self._load_careful(sm_id, addr, spread, num_req, now)
         l2_ht = self._l2_ht
         l2_ringsz = self._l2_ringsz
-        if l2_ht[1] + num_req - l2_ht[0] > l2_ringsz:
+        if l2_ht[1] + num_req - l2_ht[0] >= l2_ringsz:
             self.l2._compact()
-            if l2_ht[1] + num_req - l2_ht[0] > l2_ringsz:
+            if l2_ht[1] + num_req - l2_ht[0] >= l2_ringsz:
                 return self._load_careful(sm_id, addr, spread, num_req, now)
         # Batched ring path: head/tail in locals (headroom reserved
         # above, so no per-transaction compaction checks), DRAM misses

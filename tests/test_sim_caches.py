@@ -161,12 +161,16 @@ class TestArrayLRUCacheRing:
         for addr in (0, 128, 384, 0, 640):
             c.access(addr)
         hits_before, misses_before = c.hits, c.misses
+        compactions_before = c.compactions
+        ht_before = list(c._ht)
         order_before = c.lru_lines()
         lines = np.array([0, 1, 2, 3, 4, 5], dtype=np.int64)
         got = c.probe_lines(lines)
         want = [c.contains(line * 128) for line in lines.tolist()]
         assert got.tolist() == want
         assert (c.hits, c.misses) == (hits_before, misses_before)
+        assert c.compactions == compactions_before
+        assert c._ht == ht_before
         assert c.lru_lines() == order_before
 
     def test_reset_mutates_state_in_place(self):

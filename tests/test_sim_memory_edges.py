@@ -217,6 +217,81 @@ class TestVectorSpecificEdges:
         assert sum(c.compactions for c in vec.l1s) > 0
         assert hierarchy_state(vec) == hierarchy_state(ref)
 
+    def test_batch_ending_exactly_at_l1_ring_fullness(self):
+        # Regression: a batch whose appends land ``tail - head``
+        # exactly on the ring size must compact up front (strict
+        # headroom).  Every later append site checks fullness only
+        # *after* appending, so occupancy that slips past the ring
+        # size is never compacted again: the ring wraps over live log
+        # entries and LRU state silently corrupts while the rest of
+        # the differential battery stays green.
+        cfg = GPUConfig(
+            num_sms=1, l1_kib=2, l1_line=128, l2_kib=4, l2_line=128,
+        )
+        vec = VectorMemoryHierarchy(cfg)
+        ref = ReferenceMemoryHierarchy(cfg)
+        l1 = vec.l1s[0]
+        num_lines = l1.num_lines
+        ringsz = l1._ring_size
+        # Hit batches append num_lines entries without consuming any,
+        # so whole batches tile the ring exactly up to the boundary.
+        assert ringsz % num_lines == 0
+        now = 0
+
+        def step(addr, spread, num_req):
+            nonlocal now
+            got = vec.load(0, addr, spread, num_req, now)
+            want = ref.load(0, addr, spread, num_req, now)
+            assert got == want, (addr, spread, num_req, now)
+            now += 10
+
+        # One warming miss batch, then hit batches until one would
+        # end with tail - head == ring size.
+        for _ in range(ringsz // num_lines):
+            step(0, 128, num_lines)
+        # Strict headroom must have compacted the boundary batch.
+        assert l1._ht[1] - l1._ht[0] < ringsz
+        # Continue through every path: single-transaction hits (these
+        # wrapped the ring before the fix), an all-miss eviction storm
+        # (scans the log), and a careful sub-line-spread batch.
+        for i in range(2 * ringsz):
+            step((i % num_lines) * 128, 0, 1)
+        step(num_lines * 128, 128, num_lines)
+        step(0, 64, 32)
+        assert hierarchy_state(vec) == hierarchy_state(ref)
+
+    def test_batch_ending_exactly_at_l2_ring_fullness(self):
+        # Same boundary for the shared L2: an L1 small enough that a
+        # 16-line working set always misses it, so every transaction
+        # reaches the L2 and its ring fills on hit batches.
+        cfg = GPUConfig(
+            num_sms=1, l1_kib=1, l1_line=128, l2_kib=4, l2_line=128,
+        )
+        vec = VectorMemoryHierarchy(cfg)
+        ref = ReferenceMemoryHierarchy(cfg)
+        l2 = vec.l2
+        ringsz = l2._ring_size
+        width = 16  # working set: wider than L1 (8), inside L2 (32)
+        assert ringsz % width == 0
+        now = 0
+
+        def step(addr, spread, num_req):
+            nonlocal now
+            got = vec.load(0, addr, spread, num_req, now)
+            want = ref.load(0, addr, spread, num_req, now)
+            assert got == want, (addr, spread, num_req, now)
+            now += 10
+
+        for _ in range(ringsz // width):
+            step(0, 128, width)
+        assert l2._ht[1] - l2._ht[0] < ringsz
+        # Single-transaction L2 hits (L1 thrashes the 16-line cycle),
+        # then an L2 eviction storm over fresh lines.
+        for i in range(2 * ringsz):
+            step((i % width) * 128, 0, 1)
+        step(width * 128, 128, 32)
+        assert hierarchy_state(vec) == hierarchy_state(ref)
+
     def test_forced_vector_drain_on_degenerate_geometry(self):
         cfg = GPUConfig(
             num_sms=1, l1_kib=1, l1_line=1024, l2_kib=1, l2_line=1024,
