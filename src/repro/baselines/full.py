@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.config import GPUConfig
 from repro.exec.engine import DEFAULT_EXECUTION, ExecutionConfig, parallel_map
 from repro.sim.gpu import FixedUnitRecorder, GPUSimulator, LaunchResult, UnitRecord
+from repro.sim.worker import get_simulator, init_worker
 from repro.trace import KernelTrace
 from repro.trace.launch import LaunchTrace
 
@@ -81,9 +82,12 @@ def _simulate_full_launch(
 
 
 def _full_launch_task(task) -> tuple[LaunchResult, list[UnitRecord]]:
-    """Picklable process-pool entry point."""
+    """Picklable process-pool entry point (warm per-worker simulator,
+    see :mod:`repro.sim.worker`)."""
     launch, gpu, unit_insts, record_bbv = task
-    return _simulate_full_launch(launch, gpu, unit_insts, record_bbv)
+    return _simulate_full_launch(
+        launch, gpu, unit_insts, record_bbv, simulator=get_simulator(gpu)
+    )
 
 
 def run_full(
@@ -118,8 +122,11 @@ def run_full(
     exec_meta: dict = {}
     if jobs > 1 and kernel.num_launches > 1:
         tasks = [(l, gpu, unit_insts, record_bbv) for l in kernel.launches]
+        # min_items=2: a whole-launch simulation dwarfs pool spawn
+        # cost (same reasoning as the representative-launch fan-out).
         outcomes = parallel_map(
-            _full_launch_task, tasks, jobs, meta=exec_meta, config=exec_config
+            _full_launch_task, tasks, jobs, meta=exec_meta, config=exec_config,
+            min_items=2, initializer=init_worker, initargs=(gpu,),
         )
     else:
         exec_meta.update(

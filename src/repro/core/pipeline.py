@@ -30,6 +30,7 @@ from repro.exec.cache import cached_profile
 from repro.exec.engine import DEFAULT_EXECUTION, ExecutionConfig, parallel_map
 from repro.profiler.functional import KernelProfile, LaunchProfile
 from repro.sim.gpu import GPUSimulator, LaunchResult
+from repro.sim.worker import get_simulator, init_worker
 from repro.trace import KernelTrace
 from repro.trace.launch import LaunchTrace
 
@@ -118,10 +119,15 @@ def simulate_representative(
 
 
 def _rep_launch_task(task: tuple) -> tuple:
-    """Picklable worker: simulate one representative launch in a fresh
-    simulator (process-pool entry point)."""
+    """Picklable worker: simulate one representative launch in the
+    worker's warm simulator (process-pool entry point; the simulator is
+    built once per worker by :func:`repro.sim.worker.init_worker` and
+    keeps its interned trace tables across this kernel's launches)."""
     launch, launch_profile, gpu, sampling, use_intra = task
-    return simulate_representative(launch, launch_profile, gpu, sampling, use_intra)
+    return simulate_representative(
+        launch, launch_profile, gpu, sampling, use_intra,
+        simulator=get_simulator(gpu),
+    )
 
 
 def run_tbpoint(
@@ -188,8 +194,12 @@ def run_tbpoint(
             (kernel.launches[lid], profile.launches[lid], gpu, sampling, use_intra)
             for lid in sim_launches
         ]
+        # min_items=2: one launch simulation dwarfs the pool spawn
+        # cost, so even two launches are worth fanning out (the
+        # generic MIN_PARALLEL_ITEMS floor is sized for short tasks).
         outcomes = parallel_map(
-            _rep_launch_task, tasks, jobs, meta=exec_meta, config=exec_config
+            _rep_launch_task, tasks, jobs, meta=exec_meta, config=exec_config,
+            min_items=2, initializer=init_worker, initargs=(gpu,),
         )
     else:
         exec_meta.update(

@@ -124,12 +124,20 @@ class ExecutionConfig:
 
     @property
     def effective_jobs(self) -> int:
-        """The worker count actually used: the requested ``jobs`` (or
-        all CPUs for 0), never more than the machine has — asking for 8
-        workers on a 1-CPU host just adds pool overhead (the 0.67x
-        "speedup" BENCH_exec.json recorded before this cap existed)."""
-        requested = self.jobs if self.jobs > 0 else default_jobs()
-        return min(requested, default_jobs())
+        """The worker count actually used.
+
+        An *explicit* ``jobs`` request is honoured exactly: containers
+        and cgroup CPU quotas routinely make ``os.cpu_count()`` under-
+        report the truly available parallelism, and silently rewriting
+        ``--jobs 4`` down to the apparent CPU count is how every run on
+        such a host fell back to serial with the misleading reason
+        ``"jobs=1, N launch(es)"`` (the BENCH_exec.json gating bug this
+        replaced).  Only the *automatic* request (``jobs == 0``) is
+        sized to the machine via :func:`default_jobs` — that is the
+        case where the engine, not the user, picks the count, and
+        oversubscribing by default would just add pool overhead (the
+        0.67x "speedup" an earlier BENCH_exec.json recorded)."""
+        return self.jobs if self.jobs > 0 else default_jobs()
 
     def serial(self) -> "ExecutionConfig":
         """A copy that runs in-process (used inside worker processes so
@@ -253,17 +261,30 @@ def parallel_map(
     meta: dict | None = None,
     config: ExecutionConfig | None = None,
     on_result: Callable[[int, R], None] | None = None,
+    min_items: int = MIN_PARALLEL_ITEMS,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
 ) -> list[R]:
     """Map ``fn`` over ``items``, fanning out across processes.
 
     Results are returned in input order regardless of completion order,
     which is what makes parallel merges deterministic.  Degrades to a
-    plain serial map whenever parallelism cannot help — effective jobs
-    ≤ 1 (including requests for more workers than the machine has CPUs),
-    fewer than :data:`MIN_PARALLEL_ITEMS` items — or cannot work
-    (``fn``/first item not picklable; pool spawn failure).  Serial and
-    parallel paths are bit-identical, so the degrade is invisible in
-    results.
+    plain serial map whenever parallelism cannot help — ``jobs`` ≤ 1
+    (an explicit jobs request is otherwise honoured exactly, even past
+    the apparent CPU count: see ``ExecutionConfig.effective_jobs``),
+    fewer than ``min_items`` items (default
+    :data:`MIN_PARALLEL_ITEMS`; callers whose tasks dwarf the pool
+    spawn cost, like whole-launch simulations, pass a lower floor) —
+    or cannot work (``fn``/first item not picklable; pool spawn
+    failure).  Serial and parallel paths are bit-identical, so the
+    degrade is invisible in results.
+
+    ``initializer``/``initargs`` run once in every worker process at
+    spawn (including respawns after a broken pool), letting tasks reuse
+    expensive per-worker state — e.g. a warm simulator with interned
+    trace tables (``repro.sim.worker``).  The initializer must only
+    *prime* state that tasks would otherwise build themselves; results
+    must not depend on it (the serial path never runs it).
 
     The pool path supervises every task individually (``submit``-based):
     task exceptions, per-task timeouts (``config.task_timeout``) and
@@ -290,20 +311,14 @@ def parallel_map(
     """
     items = list(items)
     config = config or DEFAULT_EXECUTION
-    effective = min(jobs, default_jobs())
     if meta is None:
         meta = {}
     _init_meta(meta, len(items))
-    if effective <= 1:
-        meta["reason"] = (
-            f"effective jobs {effective} <= 1 "
-            f"(requested {jobs}, {default_jobs()} CPUs)"
-        )
+    if jobs <= 1:
+        meta["reason"] = f"jobs={jobs} <= 1"
         return _serial_run(fn, items, config, meta, on_result)
-    if len(items) < MIN_PARALLEL_ITEMS:
-        meta["reason"] = (
-            f"{len(items)} items < MIN_PARALLEL_ITEMS={MIN_PARALLEL_ITEMS}"
-        )
+    if len(items) < min_items:
+        meta["reason"] = f"{len(items)} items < min_items={min_items}"
         return _serial_run(fn, items, config, meta, on_result)
     if not (_is_picklable(fn) and _is_picklable(items[0])):
         # Probe the function and the first item only; a stray
@@ -311,16 +326,21 @@ def parallel_map(
         # falls back to serial for that task alone.
         meta["reason"] = "fn or first item not picklable"
         return _serial_run(fn, items, config, meta, on_result)
-    workers = min(effective, len(items))
+    workers = min(jobs, len(items))
     try:
-        pool = ProcessPoolExecutor(max_workers=workers)
+        pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        )
     except (OSError, RuntimeError):
         # Process pools may be unavailable (sandboxes, nested daemons);
         # the serial path is always correct, only slower.
         meta["reason"] = "process pool unavailable"
         return _serial_run(fn, items, config, meta, on_result)
     meta.update(path="parallel", workers=workers)
-    return _pool_run(fn, items, pool, workers, config, meta, on_result)
+    return _pool_run(
+        fn, items, pool, workers, config, meta, on_result,
+        initializer, initargs,
+    )
 
 
 class _PoolLost(Exception):
@@ -336,6 +356,8 @@ def _pool_run(
     config: ExecutionConfig,
     meta: dict,
     on_result: Callable[[int, R], None] | None,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
 ) -> list[R]:
     n = len(items)
     plan = config.fault_plan
@@ -417,7 +439,11 @@ def _pool_run(
         inflight.clear()
         deadlines.clear()
         try:
-            pool = ProcessPoolExecutor(max_workers=workers)
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=initializer,
+                initargs=initargs,
+            )
         except (OSError, RuntimeError):
             raise _PoolLost from None
 

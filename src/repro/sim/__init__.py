@@ -20,9 +20,25 @@ one via ``make_memory(config, front_end)`` or
 The simulator exposes the hooks TBPoint's intra-launch sampling needs:
 a dispatch-time skip decision and sampling-unit tracking where a unit is
 the lifetime of a *specified* thread block (Section IV-B2).
+
+Two orthogonal parallelization layers (DESIGN.md §12): the L2 can be
+organized as per-address-slice shards (``GPUConfig.l2_shards`` /
+``ShardedL2`` — bit-identical to the unified cache under every front
+end), and a launch can be simulated across independent SM groups with
+relaxed cross-group L2 ordering (``simulate_sm_groups`` — approximate,
+with the IPC skew against the exact serial engine measured by default
+and gateable, never silent).  Launch-*level* parallelism lives in the
+execution engine and stays exact.
 """
 
-from repro.sim.caches import ArrayLRUCache, DictLRUCache, LRUCache
+from repro.sim.caches import (
+    L2_ORGANIZATIONS,
+    ArrayLRUCache,
+    DictLRUCache,
+    LRUCache,
+    ShardedL2,
+    make_l2,
+)
 from repro.sim.dram import ArrayDRAMModel, DRAMModel
 from repro.sim.memory import (
     MEMORY_FRONT_ENDS,
@@ -38,11 +54,21 @@ from repro.sim.gpu import (
     SimCounters,
     UnitRecord,
 )
+from repro.sim.parallel import (
+    SMGroupRun,
+    group_config,
+    plan_sm_groups,
+    simulate_sm_groups,
+)
+from repro.sim.worker import get_simulator, init_worker
 
 __all__ = [
     "LRUCache",
     "DictLRUCache",
     "ArrayLRUCache",
+    "ShardedL2",
+    "L2_ORGANIZATIONS",
+    "make_l2",
     "DRAMModel",
     "ArrayDRAMModel",
     "MemoryHierarchy",
@@ -55,4 +81,10 @@ __all__ = [
     "SimCounters",
     "FixedUnitRecorder",
     "UnitRecord",
+    "SMGroupRun",
+    "simulate_sm_groups",
+    "plan_sm_groups",
+    "group_config",
+    "init_worker",
+    "get_simulator",
 ]

@@ -108,6 +108,25 @@ class LRUCache(_LRUStatsMixin):
         tests, whatever its internal storage)."""
         return list(self._lines)
 
+    def peek_lru(self) -> int:
+        """The least-recently-used resident line (cache must be
+        non-empty).  Non-mutating for this implementation."""
+        return next(iter(self._lines))
+
+    def evict_lru(self) -> int:
+        """Remove and return the least-recently-used resident line
+        (cache must be non-empty).  No statistics are touched — same as
+        the eviction inside :meth:`access`."""
+        return self._lines.popitem(last=False)[0]
+
+    def probe_lines(self, lines: "np.ndarray") -> "np.ndarray":
+        """Vectorized non-mutating membership probe: a boolean per
+        *line* address against the resident tag set (same contract as
+        :meth:`ArrayLRUCache.probe_lines`)."""
+        n = len(self._lines)
+        tags = np.fromiter(self._lines.keys(), np.int64, n)
+        return np.isin(lines, tags)
+
     def reset(self, keep_stats: bool = False) -> None:
         """Invalidate all lines (and by default zero the counters)."""
         self._lines.clear()
@@ -327,6 +346,32 @@ class ArrayLRUCache(_LRUStatsMixin):
         """Resident lines in LRU-to-MRU order."""
         return [ln for ln, _ in sorted(self._pos.items(), key=lambda kv: kv[1])]
 
+    def peek_lru(self) -> int:
+        """The least-recently-used resident line (cache must be
+        non-empty).  Advances the log head past superseded (stale)
+        entries as a side effect — exactly the skip :meth:`_evict_one`
+        would perform, so it is unobservable in the LRU relation."""
+        pos_get = self._pos.get
+        ring = self._ring
+        rmask = self._rmask
+        ht = self._ht
+        h = ht[0]
+        while True:
+            victim = ring[h & rmask]
+            if pos_get(victim, -1) == h:
+                ht[0] = h
+                return victim
+            h += 1
+
+    def evict_lru(self) -> int:
+        """Remove and return the least-recently-used resident line
+        (cache must be non-empty).  No statistics are touched — same as
+        the eviction inside :meth:`access`."""
+        victim = self.peek_lru()
+        del self._pos[victim]
+        self._ht[0] += 1
+        return victim
+
     @property
     def occupancy(self) -> int:
         """Number of valid lines currently resident."""
@@ -346,4 +391,256 @@ class ArrayLRUCache(_LRUStatsMixin):
             self.compactions = 0
 
 
-__all__ = ["LRUCache", "DictLRUCache", "ArrayLRUCache"]
+class ShardedL2:
+    """L2 state partitioned into per-address-slice banks (shards).
+
+    Each line address maps to exactly one shard (``line & (shards-1)``,
+    a power-of-two mask over the *line* address), so residency is a
+    disjoint union over shards and a lookup touches exactly one bank —
+    the partitioning that lets SM groups probe different shards without
+    serializing on one recency structure (DESIGN.md §12).
+
+    Bit-identity invariant (property-tested against the single-cache
+    oracle): hits, misses, eviction order and the full LRU relation are
+    identical to one unified LRU of the same total capacity.  Hit/miss
+    equality is immediate — a line is resident in its shard iff it is
+    resident in the unified cache, because both structures hold the
+    same line set (induction below).  Eviction equality needs *global*
+    LRU coordination: a per-shard-capacity LRU would evict the locally
+    oldest line of a full shard, which is not in general the globally
+    oldest.  So recency is tracked on a single shared clock: every
+    access stamps its line with the next global tick in its shard's
+    stamp table, and eviction removes the line with the *minimum stamp
+    across shards*.  Within one shard, local LRU order equals stamp
+    order (both are access order — :meth:`ArrayLRUCache._compact`
+    renumbers local log indices but preserves their relative order, and
+    the global stamp tables are never renumbered), so each shard's
+    :meth:`peek_lru` line carries that shard's minimum stamp and the
+    global victim is an O(shards) argmin, O(1) per access otherwise.
+
+    Shard backing stores are the existing single-cache implementations
+    (:class:`LRUCache` or :class:`ArrayLRUCache`, per ``line_cls``),
+    each deliberately constructed one line *larger* than the whole
+    cache so its internal eviction trigger (``len > num_lines``) can
+    never fire — the shard must not evict its own locally-oldest line
+    when the global victim lives elsewhere.  Occupancy is bounded here
+    (``_occ``), and :meth:`_evict_global` performs the coordinated
+    eviction through the shard's :meth:`evict_lru`.
+
+    Observability: ``shard_probes`` counts accesses per shard and
+    ``shard_imbalance`` summarizes their skew (0.0 = perfectly
+    balanced; the hottest shard's excess over a balanced share),
+    surfaced through ``SimCounters`` and ``repro simulate --mem-stats``.
+    :meth:`probe_lines` batches a membership probe across shards with
+    one vectorized ``np.isin`` per touched shard.
+    """
+
+    __slots__ = (
+        "num_shards", "num_lines", "line_shift", "shards",
+        "shard_probes", "_shard_mask", "_gstamps", "_clock", "_occ",
+    )
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        line_size: int,
+        num_shards: int,
+        line_cls: type = LRUCache,
+    ):
+        if num_shards <= 0 or num_shards & (num_shards - 1):
+            raise ValueError("num_shards must be a positive power of two")
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ValueError("line_size must be a positive power of two")
+        if capacity_bytes < line_size:
+            raise ValueError("capacity smaller than one line")
+        self.num_lines = capacity_bytes // line_size
+        self.line_shift = line_size.bit_length() - 1
+        self.num_shards = num_shards
+        self._shard_mask = num_shards - 1
+        # One line of extra per-shard capacity: see class docstring —
+        # shard-internal eviction must never fire.
+        self.shards = [
+            line_cls(capacity_bytes + line_size, line_size)
+            for _ in range(num_shards)
+        ]
+        self._gstamps: list[dict[int, int]] = [{} for _ in range(num_shards)]
+        self.shard_probes = [0] * num_shards
+        self._clock = 0
+        self._occ = 0
+
+    def access(self, addr: int) -> bool:
+        """Access one byte address; return True on hit.  Misses allocate
+        (and evict the *globally* least-recently-used line if full)."""
+        line = addr >> self.line_shift
+        si = line & self._shard_mask
+        hit = self.shards[si].access(addr)
+        self._gstamps[si][line] = self._clock
+        self._clock += 1
+        self.shard_probes[si] += 1
+        if hit:
+            return True
+        self._occ += 1
+        if self._occ > self.num_lines:
+            self._evict_global()
+        return False
+
+    def _evict_global(self) -> None:
+        """Evict the line with the minimum global stamp: argmin over
+        the non-empty shards of each shard's LRU-line stamp."""
+        gstamps = self._gstamps
+        best_si = -1
+        best_stamp = -1
+        for si, shard in enumerate(self.shards):
+            if not shard.occupancy:
+                continue
+            stamp = gstamps[si][shard.peek_lru()]
+            if best_si < 0 or stamp < best_stamp:
+                best_si = si
+                best_stamp = stamp
+        victim = self.shards[best_si].evict_lru()
+        del gstamps[best_si][victim]
+        self._occ -= 1
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating lookup (no LRU update, no fill, no stats)."""
+        line = addr >> self.line_shift
+        return self.shards[line & self._shard_mask].contains(addr)
+
+    def probe_lines(self, lines: "np.ndarray") -> "np.ndarray":
+        """Vectorized non-mutating membership probe: a boolean per
+        *line* address.  Lines are routed to their shards by mask and
+        each touched shard answers its slice with one vectorized
+        ``probe_lines`` call (``np.isin`` over its tag set)."""
+        lines = np.asarray(lines, dtype=np.int64)
+        out = np.zeros(lines.shape, dtype=bool)
+        shard_of = lines & self._shard_mask
+        for si, shard in enumerate(self.shards):
+            sel = shard_of == si
+            if sel.any():
+                out[sel] = shard.probe_lines(lines[sel])
+        return out
+
+    def lru_lines(self) -> list[int]:
+        """Resident lines in LRU-to-MRU order: the shard stamp tables
+        merged by global stamp."""
+        pairs: list[tuple[int, int]] = []
+        for gs in self._gstamps:
+            pairs.extend(gs.items())
+        pairs.sort(key=lambda kv: kv[1])
+        return [line for line, _ in pairs]
+
+    def peek_lru(self) -> int:
+        """The globally least-recently-used resident line (cache must
+        be non-empty)."""
+        best_line = -1
+        best_stamp = -1
+        for si, shard in enumerate(self.shards):
+            if not shard.occupancy:
+                continue
+            line = shard.peek_lru()
+            stamp = self._gstamps[si][line]
+            if best_line < 0 or stamp < best_stamp:
+                best_line = line
+                best_stamp = stamp
+        return best_line
+
+    @property
+    def hits(self) -> int:
+        return sum(shard.hits for shard in self.shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(shard.misses for shard in self.shards)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident (all shards)."""
+        return self._occ
+
+    @property
+    def compactions(self) -> int:
+        """Ring compactions across shards (0 for OrderedDict shards)."""
+        return sum(getattr(shard, "compactions", 0) for shard in self.shards)
+
+    @property
+    def shard_imbalance(self) -> float:
+        """Access-skew summary: the hottest shard's probe count as an
+        excess fraction over a perfectly balanced share (0.0 when
+        balanced or idle; 1.0 means the hottest shard saw twice its
+        fair share)."""
+        total = sum(self.shard_probes)
+        if not total:
+            return 0.0
+        return max(self.shard_probes) * self.num_shards / total - 1.0
+
+    def reset(self, keep_stats: bool = False) -> None:
+        """Invalidate all shards (and by default zero the counters)."""
+        for shard in self.shards:
+            shard.reset(keep_stats)
+        for gs in self._gstamps:
+            gs.clear()
+        self._clock = 0
+        self._occ = 0
+        if not keep_stats:
+            for si in range(self.num_shards):
+                self.shard_probes[si] = 0
+
+
+def _make_unified_l2(
+    capacity_bytes: int, line_size: int, num_shards: int, line_cls: type
+):
+    """One cache object holds the whole L2 (``num_shards`` must be 1)."""
+    if num_shards != 1:
+        raise ValueError("unified L2 organization requires num_shards == 1")
+    return line_cls(capacity_bytes, line_size)
+
+
+def _make_sharded_l2(
+    capacity_bytes: int, line_size: int, num_shards: int, line_cls: type
+):
+    """Per-address-slice banks behind the global-LRU coordinator."""
+    return ShardedL2(capacity_bytes, line_size, num_shards, line_cls)
+
+
+#: L2 organization registry (same discipline as ``ENGINES`` and
+#: ``MEMORY_FRONT_ENDS``): every entry must appear in the oracle-parity
+#: tests (``repro lint`` ORA001 enforces this).
+L2_ORGANIZATIONS = {
+    "unified": _make_unified_l2,
+    "sharded": _make_sharded_l2,
+}
+
+
+def make_l2(
+    capacity_bytes: int,
+    line_size: int,
+    num_shards: int = 1,
+    line_cls: type = LRUCache,
+):
+    """Build an L2 for the given shard count: a plain ``line_cls``
+    cache for 1 shard (the default, zero-overhead organization) or a
+    :class:`ShardedL2` over ``line_cls`` banks for a power-of-two
+    ``num_shards > 1``.  Both are bit-identical in observable behaviour
+    (hits/misses/LRU order/eviction order) by the invariant documented
+    on :class:`ShardedL2`."""
+    org = "sharded" if num_shards > 1 else "unified"
+    return L2_ORGANIZATIONS[org](capacity_bytes, line_size, num_shards, line_cls)
+
+
+__all__ = [
+    "LRUCache",
+    "DictLRUCache",
+    "ArrayLRUCache",
+    "ShardedL2",
+    "L2_ORGANIZATIONS",
+    "make_l2",
+]

@@ -56,7 +56,7 @@ the full path (its recency update is observable).
 from __future__ import annotations
 
 from repro.config import GPUConfig
-from repro.sim.caches import ArrayLRUCache, LRUCache
+from repro.sim.caches import ArrayLRUCache, LRUCache, make_l2
 from repro.sim.dram import ArrayDRAMModel, DRAMModel
 
 
@@ -85,6 +85,7 @@ class MemoryHierarchy:
         # instead of an attribute chain per transaction.
         "_sm", "_l1_shift", "_l1_cap",
         "_l2_lines", "_l2_move", "_l2_evict", "_l2_shift", "_l2_cap",
+        "_l2_direct", "_l2_access",
         "_dram_free", "_dram_rows", "_bank_mask", "_num_banks",
         "_dram_line_shift", "_row_shift", "_dram_base", "_row_miss",
         "_service", "_jitter",
@@ -96,7 +97,9 @@ class MemoryHierarchy:
             LRUCache(config.l1_kib * 1024, config.l1_line)
             for _ in range(config.num_sms)
         ]
-        self.l2 = LRUCache(config.l2_kib * 1024, config.l2_line)
+        self.l2 = make_l2(
+            config.l2_kib * 1024, config.l2_line, config.l2_shards, LRUCache
+        )
         self.dram = DRAMModel(config)
         self.l1_latency = config.l1_latency
         self.l2_latency = config.l2_latency
@@ -124,11 +127,18 @@ class MemoryHierarchy:
         self._l1_shift = self.l1s[0].line_shift
         self._l1_cap = self.l1s[0].num_lines
         l2 = self.l2
-        self._l2_lines = l2._lines
-        self._l2_move = l2._lines.move_to_end
-        self._l2_evict = l2._lines.popitem
+        # The inlined L2 fast path only exists for the unified (single
+        # cache object) organization; a sharded L2 coordinates global
+        # LRU state internally, so every access goes through its
+        # ``access`` method (counters included — no external flush).
+        self._l2_direct = self.config.l2_shards == 1
+        self._l2_access = l2.access
+        if self._l2_direct:
+            self._l2_lines = l2._lines
+            self._l2_move = l2._lines.move_to_end
+            self._l2_evict = l2._lines.popitem
+            self._l2_cap = l2.num_lines
         self._l2_shift = l2.line_shift
-        self._l2_cap = l2.num_lines
         dram = self.dram
         self._dram_free = dram.free_at
         self._dram_rows = dram.open_row
@@ -168,16 +178,21 @@ class MemoryHierarchy:
             if len(l1_lines) > self._l1_cap:
                 l1_evict(False)
             l1.misses += 1
-            l2_lines = self._l2_lines
-            l2_line = addr >> self._l2_shift
-            if l2_line in l2_lines:
-                self._l2_move(l2_line)
-                self.l2.hits += 1
+            if self._l2_direct:
+                l2_lines = self._l2_lines
+                l2_line = addr >> self._l2_shift
+                if l2_line in l2_lines:
+                    self._l2_move(l2_line)
+                    self.l2.hits += 1
+                    return now + self.l2_latency
+                l2_lines[l2_line] = None
+                if len(l2_lines) > self._l2_cap:
+                    self._l2_evict(False)
+                self.l2.misses += 1
+            elif self._l2_access(addr):
+                # Sharded L2: one ``access`` per transaction (stats
+                # counted inside the shards — no external flush).
                 return now + self.l2_latency
-            l2_lines[l2_line] = None
-            if len(l2_lines) > self._l2_cap:
-                self._l2_evict(False)
-            self.l2.misses += 1
             dram = self.dram
             dline = addr >> self._dram_line_shift
             mask = self._bank_mask
@@ -211,13 +226,17 @@ class MemoryHierarchy:
         # statistics flush once at the end; DRAM misses are collected
         # and drained in one ``access_n`` batch.
         l2 = self.l2
-        l2_lines = self._l2_lines
-        l2_move = self._l2_move
-        l2_evict = self._l2_evict
+        l2_direct = self._l2_direct
+        if l2_direct:
+            l2_lines = self._l2_lines
+            l2_move = self._l2_move
+            l2_evict = self._l2_evict
+            l2_cap = self._l2_cap
+        else:
+            l2_access = self._l2_access
         l1_shift = self._l1_shift
         l1_cap = self._l1_cap
         l2_shift = self._l2_shift
-        l2_cap = self._l2_cap
         l2_done = now + self.l2_latency
         worst = l1_done
         a = addr
@@ -248,20 +267,33 @@ class MemoryHierarchy:
                 if len(l1_lines) > l1_cap:
                     l1_evict(False)
                 l1_misses += 1
-                l2_line = a >> l2_shift
-                if l2_line in l2_lines:
-                    l2_move(l2_line)
+                if l2_direct:
+                    l2_line = a >> l2_shift
+                    if l2_line in l2_lines:
+                        l2_move(l2_line)
+                        l2_hits += 1
+                        if l2_done > worst:
+                            worst = l2_done
+                    else:
+                        l2_lines[l2_line] = None
+                        if len(l2_lines) > l2_cap:
+                            l2_evict(False)
+                        l2_misses += 1
+                        if dram_addrs is None:
+                            # Allocated at most once per *instruction*
+                            # (on the first DRAM miss), not per
+                            # transaction.
+                            dram_addrs = [a]  # lint: disable=HOT002
+                        else:
+                            dram_addrs.append(a)
+                elif l2_access(a):
+                    # Sharded L2: stats counted inside the shards.
                     l2_hits += 1
                     if l2_done > worst:
                         worst = l2_done
                 else:
-                    l2_lines[l2_line] = None
-                    if len(l2_lines) > l2_cap:
-                        l2_evict(False)
                     l2_misses += 1
                     if dram_addrs is None:
-                        # Allocated at most once per *instruction* (on
-                        # the first DRAM miss), not per transaction.
                         dram_addrs = [a]  # lint: disable=HOT002
                     else:
                         dram_addrs.append(a)
@@ -272,7 +304,9 @@ class MemoryHierarchy:
                 worst = done
         l1.hits += l1_hits
         l1.misses += l1_misses
-        if l1_misses:
+        if l1_misses and l2_direct:
+            # The sharded organization counts hits/misses inside its
+            # shards during ``access``; flushing here would double-count.
             l2.hits += l2_hits
             l2.misses += l2_misses
         self.batches += 1
@@ -296,16 +330,24 @@ class MemoryHierarchy:
             self.batch_l2_hits = 0
 
     def stats(self) -> dict:
-        """Aggregate hierarchy statistics."""
+        """Aggregate hierarchy statistics.  A sharded L2 additionally
+        reports its per-shard probe counts and access-skew summary
+        (tuples, so the dict stays hashable for test fingerprints)."""
         l1_hits = sum(c.hits for c in self.l1s)
         l1_total = sum(c.accesses for c in self.l1s)
-        return {
+        out = {
             "l1_hit_rate": l1_hits / l1_total if l1_total else 0.0,
             "l2_hit_rate": self.l2.hit_rate,
             "dram_requests": self.dram.requests,
             "dram_row_hit_rate": self.dram.row_hit_rate,
             "dram_mean_queue_delay": self.dram.mean_queue_delay,
         }
+        shard_probes = getattr(self.l2, "shard_probes", None)
+        if shard_probes is not None:
+            out["l2_shards"] = self.l2.num_shards
+            out["l2_shard_probes"] = tuple(shard_probes)
+            out["l2_shard_imbalance"] = self.l2.shard_imbalance
+        return out
 
 
 class ReferenceMemoryHierarchy:
@@ -334,7 +376,9 @@ class ReferenceMemoryHierarchy:
             LRUCache(config.l1_kib * 1024, config.l1_line)
             for _ in range(config.num_sms)
         ]
-        self.l2 = LRUCache(config.l2_kib * 1024, config.l2_line)
+        self.l2 = make_l2(
+            config.l2_kib * 1024, config.l2_line, config.l2_shards, LRUCache
+        )
         self.dram = DRAMModel(config)
         self.l1_latency = config.l1_latency
         self.l2_latency = config.l2_latency
@@ -411,7 +455,10 @@ class VectorMemoryHierarchy:
       (compacting once if needed): the batch must end with occupancy
       strictly below the ring size, never exactly at it — so the loop
       needs no per-transaction compaction checks and head/tail stay
-      in locals.
+      in locals;
+    * a unified (single cache object) L2 — a sharded L2 coordinates
+      global LRU state internally, so batches run through the careful
+      path's per-transaction ``access`` calls instead.
     """
 
     FRONT_END = "vector"
@@ -426,6 +473,7 @@ class VectorMemoryHierarchy:
         "_l1_line",
         "_l2_pos", "_l2_get", "_l2_ring", "_l2_ht", "_l2_rmask",
         "_l2_ringsz", "_l2_shift", "_l2_cap",
+        "_l2_direct", "_l2_access",
         "_dram_free", "_dram_rows", "_bank_mask", "_num_banks",
         "_dram_line_shift", "_row_shift", "_dram_base", "_row_miss",
         "_service", "_jitter", "_careful_at",
@@ -439,7 +487,10 @@ class VectorMemoryHierarchy:
             ArrayLRUCache(config.l1_kib * 1024, config.l1_line)
             for _ in range(config.num_sms)
         ]
-        self.l2 = ArrayLRUCache(config.l2_kib * 1024, config.l2_line)
+        self.l2 = make_l2(
+            config.l2_kib * 1024, config.l2_line, config.l2_shards,
+            ArrayLRUCache,
+        )
         self.dram = ArrayDRAMModel(config, vector_threshold)
         self.l1_latency = config.l1_latency
         self.l2_latency = config.l2_latency
@@ -473,14 +524,20 @@ class VectorMemoryHierarchy:
         self._l1_ringsz = l1._ring_size
         self._l1_line = self.config.l1_line
         l2 = self.l2
-        self._l2_pos = l2._pos
-        self._l2_get = l2._pos.get
-        self._l2_ring = l2._ring
-        self._l2_ht = l2._ht
-        self._l2_rmask = l2._rmask
-        self._l2_ringsz = l2._ring_size
+        # Same contract as the fast front end: the inlined/batched ring
+        # paths exist only for the unified organization; a sharded L2
+        # is driven through its ``access`` method (counters internal).
+        self._l2_direct = self.config.l2_shards == 1
+        self._l2_access = l2.access
+        if self._l2_direct:
+            self._l2_pos = l2._pos
+            self._l2_get = l2._pos.get
+            self._l2_ring = l2._ring
+            self._l2_ht = l2._ht
+            self._l2_rmask = l2._rmask
+            self._l2_ringsz = l2._ring_size
+            self._l2_cap = l2.num_lines
         self._l2_shift = l2.line_shift
-        self._l2_cap = l2.num_lines
         dram = self.dram
         self._dram_free = dram.free_at
         self._dram_rows = dram.open_row
@@ -531,37 +588,42 @@ class VectorMemoryHierarchy:
                 ht[0] = h
             elif tail - ht[0] >= self._l1_ringsz:
                 l1._compact()
-            l2_pos = self._l2_pos
-            l2_get = self._l2_get
-            l2_ring = self._l2_ring
-            l2_ht = self._l2_ht
-            l2_rmask = self._l2_rmask
-            l2 = self.l2
-            l2_line = addr >> self._l2_shift
-            tail = l2_ht[1]
-            hit = l2_get(l2_line, -1) >= 0
-            l2_ring[tail & l2_rmask] = l2_line
-            l2_pos[l2_line] = tail
-            tail += 1
-            l2_ht[1] = tail
-            if hit:
-                l2.hits += 1
-                if tail - l2_ht[0] >= self._l2_ringsz:
+            if self._l2_direct:
+                l2_pos = self._l2_pos
+                l2_get = self._l2_get
+                l2_ring = self._l2_ring
+                l2_ht = self._l2_ht
+                l2_rmask = self._l2_rmask
+                l2 = self.l2
+                l2_line = addr >> self._l2_shift
+                tail = l2_ht[1]
+                hit = l2_get(l2_line, -1) >= 0
+                l2_ring[tail & l2_rmask] = l2_line
+                l2_pos[l2_line] = tail
+                tail += 1
+                l2_ht[1] = tail
+                if hit:
+                    l2.hits += 1
+                    if tail - l2_ht[0] >= self._l2_ringsz:
+                        l2._compact()
+                    return now + self.l2_latency
+                l2.misses += 1
+                if len(l2_pos) > self._l2_cap:
+                    h = l2_ht[0]
+                    while True:
+                        victim = l2_ring[h & l2_rmask]
+                        at = h
+                        h += 1
+                        if l2_get(victim, -1) == at:
+                            del l2_pos[victim]
+                            break
+                    l2_ht[0] = h
+                elif tail - l2_ht[0] >= self._l2_ringsz:
                     l2._compact()
+            elif self._l2_access(addr):
+                # Sharded L2: one ``access`` per transaction (shard
+                # ring invariants, stats and global LRU all internal).
                 return now + self.l2_latency
-            l2.misses += 1
-            if len(l2_pos) > self._l2_cap:
-                h = l2_ht[0]
-                while True:
-                    victim = l2_ring[h & l2_rmask]
-                    at = h
-                    h += 1
-                    if l2_get(victim, -1) == at:
-                        del l2_pos[victim]
-                        break
-                l2_ht[0] = h
-            elif tail - l2_ht[0] >= self._l2_ringsz:
-                l2._compact()
             dram = self.dram
             dline = addr >> self._dram_line_shift
             mask = self._bank_mask
@@ -590,7 +652,13 @@ class VectorMemoryHierarchy:
             return start + latency + self.l1_latency
         # Batch-path preconditions (see class docstring); everything
         # that fails them resolves through the careful path instead.
-        if spread < self._l1_line or num_req >= self._careful_at:
+        # A sharded L2 has no flattened ring to drive, so sharded mode
+        # always resolves multi-transaction batches carefully.
+        if (
+            spread < self._l1_line
+            or num_req >= self._careful_at
+            or not self._l2_direct
+        ):
             return self._load_careful(sm_id, addr, spread, num_req, now)
         head = ht[0]
         tail = ht[1]

@@ -1,0 +1,284 @@
+"""Bounded-skew SM-group timing simulation (opt-in parallel mode).
+
+The serial engines are *exact*: all SMs share one L2/DRAM and the
+cycle loop observes every cross-SM interaction, which is also why one
+launch cannot be simulated by more than one process.  This module
+trades a measured, bounded amount of that exactness for launch-level
+partitioning: the machine's SMs are split into ``sm_groups`` disjoint
+groups, each group simulates its share of the thread blocks on an
+independent simulator with a proportional share of the L2 (cross-group
+L2 ordering is *relaxed* — groups never contend with each other), and
+the groups are recomposed as a machine whose wall clock is the slowest
+group's (``max``) and whose instruction count is the sum.
+
+Accuracy discipline (DESIGN.md §12, after the way the sampling papers
+report error): the deviation is **measured, never silent**.  By
+default :func:`simulate_sm_groups` also runs the exact serial engine
+on the same launch and reports the relative IPC skew
+(``|grouped - serial| / serial``); an explicit ``skew_tolerance``
+turns the measurement into a hard gate.  Callers chasing wall-clock
+speed on multi-core hosts can pass ``measure_skew=False`` (or supply a
+precomputed ``serial_baseline``), in which case the skew is recorded
+as *unmeasured* — visibly ``None``, never a silent zero.
+
+Two exact anchors pin the approximation:
+
+* ``sm_groups=1`` degenerates to the serial engine **bit-identically**
+  (one group owning every SM and the full L2 is the serial machine);
+* block assignment is deterministic (block ``b`` belongs to the group
+  owning SM ``b % num_sms``, the dispatcher's initial round-robin
+  target), so grouped runs are reproducible and property-testable.
+
+Groups fan out across worker processes through the same fault-tolerant
+:func:`~repro.exec.engine.parallel_map` supervisor as launch-level
+parallelism, with warm per-worker simulators (``repro.sim.worker``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import GPUConfig
+from repro.exec.engine import DEFAULT_EXECUTION, ExecutionConfig, parallel_map
+from repro.sim.gpu import GPUSimulator, LaunchResult
+from repro.sim.worker import get_simulator, init_worker
+from repro.trace.blocktrace import BlockTrace
+from repro.trace.launch import LaunchTrace
+
+
+class _GroupBlockFactory:
+    """Picklable factory: renumber a group's share of a launch's thread
+    blocks into a dense sub-launch (group-local ``tb_id`` order keeps
+    the original dispatch order within the group)."""
+
+    def __init__(self, launch: LaunchTrace, block_ids: tuple[int, ...]):
+        self.launch = launch
+        self.block_ids = block_ids
+
+    def __call__(self, tb_id: int) -> BlockTrace:
+        original = self.launch.block(self.block_ids[tb_id])
+        return BlockTrace(tb_id, original.warps)
+
+
+def plan_sm_groups(num_sms: int, sm_groups: int) -> list[list[int]]:
+    """Partition SM ids ``0..num_sms-1`` into ``sm_groups`` contiguous
+    groups, sizes as even as possible (larger groups first)."""
+    if sm_groups < 1:
+        raise ValueError("sm_groups must be >= 1")
+    if sm_groups > num_sms:
+        raise ValueError(
+            f"sm_groups={sm_groups} exceeds num_sms={num_sms}: "
+            "a group needs at least one SM"
+        )
+    base, rem = divmod(num_sms, sm_groups)
+    groups: list[list[int]] = []
+    start = 0
+    for g in range(sm_groups):
+        size = base + (1 if g < rem else 0)
+        groups.append(list(range(start, start + size)))
+        start += size
+    return groups
+
+
+def group_config(config: GPUConfig, sm_ids: list[int]) -> GPUConfig:
+    """The independent machine one SM group simulates on: its SM count
+    and a proportional share of the shared L2 (at least 1 KiB).  All
+    other parameters — including ``l2_shards``, so grouped runs still
+    exercise per-shard state — are inherited."""
+    share = max(1, round(config.l2_kib * len(sm_ids) / config.num_sms))
+    return config.with_(num_sms=len(sm_ids), l2_kib=share)
+
+
+def _sm_group_task(task: tuple) -> LaunchResult:
+    """Picklable process-pool entry point: simulate one SM group's
+    sub-launch on the worker's warm simulator."""
+    sub_launch, cfg, engine, mem_front_end = task
+    sim = get_simulator(cfg, engine=engine, mem_front_end=mem_front_end)
+    return sim.run_launch(sub_launch)
+
+
+@dataclass
+class SMGroupRun:
+    """One launch simulated in bounded-skew SM-group mode.
+
+    ``group_results[g]`` is ``None`` for a group that received no
+    thread blocks (more groups than blocks); it contributes nothing to
+    the recomposition.  ``serial_ipc`` is the exact serial engine's
+    machine IPC when the skew was measured, else ``None`` — and then
+    :attr:`ipc_skew` is ``None`` too (unmeasured, never silently 0).
+    """
+
+    launch_id: int
+    sm_groups: int
+    group_sm_ids: list[list[int]]
+    group_results: list[LaunchResult | None]
+    serial_ipc: float | None = None
+    #: How the group fan-out executed (from ``parallel_map``).
+    exec_meta: dict = field(default_factory=dict)
+
+    @property
+    def issued_warp_insts(self) -> int:
+        return sum(
+            r.issued_warp_insts for r in self.group_results if r is not None
+        )
+
+    @property
+    def wall_cycles(self) -> int:
+        """The recomposed wall clock: groups run concurrently, so the
+        machine is done when its slowest group is."""
+        return max(
+            (r.wall_cycles for r in self.group_results if r is not None),
+            default=0,
+        )
+
+    @property
+    def machine_ipc(self) -> float:
+        wall = self.wall_cycles
+        return self.issued_warp_insts / wall if wall else 0.0
+
+    @property
+    def per_sm_issued(self) -> list[int]:
+        out: list[int] = []
+        for sm_ids, r in zip(self.group_sm_ids, self.group_results):
+            out.extend(r.per_sm_issued if r is not None else [0] * len(sm_ids))
+        return out
+
+    @property
+    def ipc_skew(self) -> float | None:
+        """Relative IPC deviation from the exact serial engine
+        (``None`` when unmeasured)."""
+        if self.serial_ipc is None:
+            return None
+        if self.serial_ipc == 0.0:
+            return 0.0 if self.machine_ipc == 0.0 else float("inf")
+        return abs(self.machine_ipc - self.serial_ipc) / self.serial_ipc
+
+
+def simulate_sm_groups(
+    launch: LaunchTrace,
+    config: GPUConfig | None = None,
+    sm_groups: int = 2,
+    engine: str = "compact",
+    mem_front_end: str = "fast",
+    exec_config: ExecutionConfig | None = None,
+    measure_skew: bool = True,
+    serial_baseline: LaunchResult | None = None,
+    skew_tolerance: float | None = None,
+) -> SMGroupRun:
+    """Simulate one launch in bounded-skew SM-group mode.
+
+    Parameters
+    ----------
+    sm_groups:
+        Number of independent SM groups (1..num_sms).  1 degenerates to
+        the exact serial engine bit-identically.
+    exec_config:
+        Group fan-out across worker processes (``jobs``); groups of
+        equal size share warm per-worker simulators.  ``None`` runs the
+        groups serially in-process (still deterministic).
+    measure_skew / serial_baseline:
+        Accuracy oracle.  By default the exact serial engine runs the
+        same launch and :attr:`SMGroupRun.ipc_skew` reports the
+        relative deviation; a precomputed ``serial_baseline`` (e.g.
+        from a paired benchmark run) is used instead of re-simulating.
+        ``measure_skew=False`` skips the oracle — the skew is then
+        ``None`` (visibly unmeasured), never a silent 0.
+    skew_tolerance:
+        When given, raise ``ValueError`` if the measured skew exceeds
+        it — the hard gate for callers that must bound accuracy loss.
+    """
+    config = config or GPUConfig()
+    exec_config = exec_config or DEFAULT_EXECUTION
+    groups = plan_sm_groups(config.num_sms, sm_groups)
+
+    if sm_groups == 1:
+        # Exact degeneracy: one group owning the whole machine *is* the
+        # serial engine; run it directly so the result (and any skew
+        # gate) is trivially exact.
+        sim = GPUSimulator(config, engine=engine, mem_front_end=mem_front_end)
+        result = sim.run_launch(launch)
+        run = SMGroupRun(
+            launch_id=launch.launch_id,
+            sm_groups=1,
+            group_sm_ids=groups,
+            group_results=[result],
+            serial_ipc=result.machine_ipc if measure_skew else None,
+            exec_meta={"path": "serial", "workers": 1, "items": 1,
+                       "reason": "sm_groups=1 is the serial engine"},
+        )
+        return run
+
+    num_sms = config.num_sms
+    owner_of_sm: list[int] = []
+    for g, sm_ids in enumerate(groups):
+        owner_of_sm.extend([g] * len(sm_ids))
+    block_ids: list[list[int]] = [[] for _ in groups]
+    for b in range(launch.num_blocks):
+        block_ids[owner_of_sm[b % num_sms]].append(b)
+
+    tasks = []
+    task_group: list[int] = []
+    for g, (sm_ids, ids) in enumerate(zip(groups, block_ids)):
+        if not ids:
+            continue
+        sub_launch = LaunchTrace(
+            kernel_name=launch.kernel_name,
+            launch_id=launch.launch_id,
+            num_blocks=len(ids),
+            warps_per_block=launch.warps_per_block,
+            factory=_GroupBlockFactory(launch, tuple(ids)),
+            num_bbs=launch.num_bbs,
+        )
+        tasks.append(
+            (sub_launch, group_config(config, sm_ids), engine, mem_front_end)
+        )
+        task_group.append(g)
+
+    exec_meta: dict = {}
+    jobs = exec_config.effective_jobs
+    outcomes = parallel_map(
+        _sm_group_task, tasks, jobs, meta=exec_meta, config=exec_config,
+        min_items=2, initializer=init_worker,
+        initargs=(tasks[0][1], engine, mem_front_end),
+    )
+
+    group_results: list[LaunchResult | None] = [None] * len(groups)
+    for g, result in zip(task_group, outcomes):
+        group_results[g] = result
+
+    serial_ipc: float | None = None
+    if serial_baseline is not None:
+        serial_ipc = serial_baseline.machine_ipc
+    elif measure_skew:
+        sim = GPUSimulator(config, engine=engine, mem_front_end=mem_front_end)
+        serial_ipc = sim.run_launch(launch).machine_ipc
+
+    run = SMGroupRun(
+        launch_id=launch.launch_id,
+        sm_groups=sm_groups,
+        group_sm_ids=groups,
+        group_results=group_results,
+        serial_ipc=serial_ipc,
+        exec_meta=exec_meta,
+    )
+    if skew_tolerance is not None:
+        skew = run.ipc_skew
+        if skew is None:
+            raise ValueError(
+                "skew_tolerance given but skew was not measured "
+                "(measure_skew=False and no serial_baseline)"
+            )
+        if skew > skew_tolerance:
+            raise ValueError(
+                f"SM-group IPC skew {skew:.4f} exceeds tolerance "
+                f"{skew_tolerance:.4f} (sm_groups={sm_groups})"
+            )
+    return run
+
+
+__all__ = [
+    "SMGroupRun",
+    "simulate_sm_groups",
+    "plan_sm_groups",
+    "group_config",
+]

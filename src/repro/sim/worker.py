@@ -1,0 +1,71 @@
+"""Warm per-worker simulator state for launch-level parallel simulation.
+
+When :func:`~repro.exec.engine.parallel_map` fans representative-launch
+(or full-run) simulations across worker processes, each task needs a
+:class:`~repro.sim.gpu.GPUSimulator`.  Building one per task would
+throw away the simulator-lifetime trace interning cache (DESIGN.md §7)
+that makes re-simulating the near-identical relaunches of one kernel
+cheap — exactly the case launch fan-out handles.  Instead the pool is
+spawned with :func:`init_worker` as its initializer, which builds one
+simulator per worker process; tasks then fetch it with
+:func:`get_simulator`, which reuses the warm instance whenever the
+requested (config, engine, front end) triple matches and transparently
+rebuilds it otherwise (e.g. a respawned pool serving a different sweep
+point, or the in-parent serial fallback of a degraded task).
+
+Correctness does not depend on reuse: ``run_launch`` resets the memory
+hierarchy per launch and the interning cache is an id-pinned pure
+cache, so a warm simulator is bit-identical to a fresh one (the
+parallel-vs-serial property tests cover this path).  The module global
+is per-process state — never pickled, never shared.
+"""
+
+from __future__ import annotations
+
+from repro.config import GPUConfig
+from repro.sim.gpu import GPUSimulator
+
+#: The process-local warm simulator (None until first use).
+_SIM: GPUSimulator | None = None
+
+
+def init_worker(
+    gpu: GPUConfig,
+    engine: str = "compact",
+    mem_front_end: str = "fast",
+) -> None:
+    """Process-pool initializer: build this worker's simulator once.
+
+    Runs at worker spawn (including pool respawns after a broken
+    pool).  Only *primes* state — results never depend on it.
+    """
+    global _SIM
+    _SIM = GPUSimulator(gpu, engine=engine, mem_front_end=mem_front_end)
+
+
+def get_simulator(
+    gpu: GPUConfig,
+    engine: str = "compact",
+    mem_front_end: str = "fast",
+) -> GPUSimulator:
+    """The process-local simulator for this configuration triple.
+
+    Returns the warm instance built by :func:`init_worker` (or by a
+    previous task) when configuration, engine and memory front end all
+    match — :class:`~repro.config.GPUConfig` is a frozen dataclass, so
+    the comparison is exact — and builds a replacement otherwise.
+    """
+    global _SIM
+    sim = _SIM
+    if (
+        sim is None
+        or sim.config != gpu
+        or sim.engine != engine
+        or sim.mem_front_end != mem_front_end
+    ):
+        sim = GPUSimulator(gpu, engine=engine, mem_front_end=mem_front_end)
+        _SIM = sim
+    return sim
+
+
+__all__ = ["init_worker", "get_simulator"]

@@ -16,6 +16,13 @@ from __future__ import annotations
 import pytest
 
 from repro.config import GPUConfig
+from repro.sim.caches import (
+    L2_ORGANIZATIONS,
+    ArrayLRUCache,
+    LRUCache,
+    ShardedL2,
+    make_l2,
+)
 from repro.sim.memory import (
     MEMORY_FRONT_ENDS,
     ReferenceMemoryHierarchy,
@@ -304,4 +311,170 @@ class TestVectorSpecificEdges:
                 0, k * 128, 1024, 16, k * 3
             )
         assert vec.vector_drains > 0
+        assert hierarchy_state(vec) == hierarchy_state(ref)
+
+
+def _assert_sharded_differential(cfg: GPUConfig, front_end: str, seq) -> None:
+    """Like :func:`_assert_differential`, but against the *unsharded*
+    oracle: the ShardedL2 invariant is equality with one big LRU, not
+    with a sharded reference."""
+    mem = make_memory(cfg, front_end)
+    ref = ReferenceMemoryHierarchy(cfg.with_(l2_shards=1))
+    for sm_id, addr, spread, num_req, now in seq:
+        got = mem.load(sm_id, addr, spread, num_req, now)
+        want = ref.load(sm_id, addr, spread, num_req, now)
+        assert got == want, (sm_id, addr, spread, num_req, now)
+    assert hierarchy_state(mem) == hierarchy_state(ref)
+
+
+def test_l2_organization_registry():
+    assert set(L2_ORGANIZATIONS) == {"unified", "sharded"}
+    assert isinstance(make_l2(4096, 128), LRUCache)
+    assert isinstance(make_l2(4096, 128, 1, ArrayLRUCache), ArrayLRUCache)
+    sharded = make_l2(4096, 128, 4)
+    assert isinstance(sharded, ShardedL2)
+    assert sharded.num_shards == 4
+
+
+def test_non_power_of_two_shards_rejected():
+    # Both the cache itself and the configuration layer must reject
+    # shard counts where the address-slice mask would be ill-formed.
+    for bad in (0, -2, 3, 6, 12):
+        with pytest.raises(ValueError):
+            ShardedL2(4096, 128, bad)
+        with pytest.raises(ValueError):
+            GPUConfig(l2_shards=bad)
+
+
+@pytest.mark.parametrize("line_cls", [LRUCache, ArrayLRUCache])
+def test_single_shard_degenerates_to_oracle(line_cls):
+    # ShardedL2 with one shard is the whole cache behind the shard
+    # dispatch: bit-identical to the plain LRU on any stream (the
+    # factory normally short-circuits shards=1 to the plain cache, so
+    # this pins the degenerate ShardedL2 itself).
+    sharded = ShardedL2(8 * 128, 128, 1, line_cls=line_cls)
+    oracle = LRUCache(8 * 128, 128)
+    for i in range(600):
+        addr = (i * 37) % (24 * 128)
+        assert sharded.access(addr >> 7) == oracle.access(addr >> 7)
+    assert sharded.lru_lines() == oracle.lru_lines()
+    assert (sharded.hits, sharded.misses, sharded.occupancy) == (
+        oracle.hits, oracle.misses, oracle.occupancy
+    )
+
+
+@pytest.mark.parametrize("front_end", FRONT_ENDS)
+class TestShardedL2Edges:
+    """Degenerate shard geometries, every front end against the
+    unsharded oracle: shards of capacity ~1 line (global eviction on
+    almost every miss), batches wider than the whole sharded L2, and
+    traffic pinned to a single shard."""
+
+    def test_capacity_one_shards_thrash(self, front_end):
+        # 2 lines total across 2 shards: the global-LRU eviction picks
+        # between shard heads on nearly every access.
+        cfg = GPUConfig(
+            num_sms=2, l1_kib=1, l1_line=1024, l2_kib=1, l2_line=512,
+            l2_shards=2, dram_channels=2, dram_banks=2,
+        )
+        seq = [
+            (sm, addr, 0, 1, now * 10)
+            for now, (sm, addr) in enumerate(
+                [(0, 0), (0, 512), (1, 1024), (0, 1536), (1, 0),
+                 (0, 2048), (1, 512), (0, 0)] * 6
+            )
+        ]
+        _assert_sharded_differential(cfg, front_end, seq)
+
+    def test_batch_wider_than_sharded_l2(self, front_end):
+        # 32-transaction batches through an 8-line L2 split 4 ways:
+        # the batch wraps the *global* capacity within one instruction
+        # while individual shards stay tiny.
+        cfg = GPUConfig(
+            num_sms=2, l1_kib=1, l1_line=128, l2_kib=1, l2_line=128,
+            l2_shards=4, dram_channels=3, dram_banks=4,
+        )
+        seq = [
+            (0, 0, 128, 32, 0),
+            (1, 0, 128, 32, 10),
+            (0, 4096, 256, 32, 20),
+            (0, 0, 128, 8, 100),
+        ]
+        _assert_sharded_differential(cfg, front_end, seq)
+
+    def test_single_shard_hammered(self, front_end):
+        # Addresses chosen so every line lands in shard 0 (even line
+        # indices with 2 shards): one shard takes all the traffic and
+        # overflows its proportional share, which the global-LRU
+        # organization must absorb exactly like the unified cache.
+        cfg = GPUConfig(
+            num_sms=1, l1_kib=1, l1_line=128, l2_kib=2, l2_line=128,
+            l2_shards=2, dram_channels=2, dram_banks=2,
+        )
+        seq = [
+            (0, (2 * (i % 24)) * 128, 0, 1, i * 5) for i in range(120)
+        ]
+        mem = make_memory(cfg, front_end)
+        ref = ReferenceMemoryHierarchy(cfg.with_(l2_shards=1))
+        for sm_id, addr, spread, num_req, now in seq:
+            assert mem.load(sm_id, addr, spread, num_req, now) == ref.load(
+                sm_id, addr, spread, num_req, now
+            )
+        assert hierarchy_state(mem) == hierarchy_state(ref)
+        probes = mem.l2.shard_probes
+        assert probes[1] == 0 and probes[0] == sum(probes)
+        assert mem.l2.shard_imbalance == pytest.approx(1.0)
+
+
+class TestShardedVectorRingBoundaries:
+    """The PR 6 ring-wrap regression, per shard: with the array-backed
+    front end each ShardedL2 shard is its own ring-log LRU, and a hit
+    streak pinned to one shard must compact that shard's ring (strict
+    headroom) instead of wrapping it over live entries."""
+
+    def test_hit_streak_fills_one_shard_ring(self):
+        cfg = GPUConfig(
+            num_sms=1, l1_kib=1, l1_line=128, l2_kib=4, l2_line=128,
+            l2_shards=2, dram_channels=2, dram_banks=2,
+        )
+        vec = VectorMemoryHierarchy(cfg)
+        ref = ReferenceMemoryHierarchy(cfg.with_(l2_shards=1))
+        shard0 = vec.l2.shards[0]
+        ringsz = shard0._ring_size
+        # 16 even-indexed lines: thrash the 8-line L1 so every access
+        # reaches the L2, land every line in shard 0, and stay inside
+        # the global L2 capacity so the streak is pure hits (each hit
+        # appends a ring entry without consuming one).
+        now = 0
+        for i in range(3 * ringsz):
+            addr = (2 * (i % 16)) * 128
+            got = vec.load(0, addr, 0, 1, now)
+            want = ref.load(0, addr, 0, 1, now)
+            assert got == want, (i, addr)
+            now += 3
+        assert shard0.compactions > 0
+        assert vec.l2.shards[1].accesses == 0
+        for shard in vec.l2.shards:
+            assert shard._ht[1] - shard._ht[0] <= shard._ring_size
+        assert hierarchy_state(vec) == hierarchy_state(ref)
+
+    def test_eviction_storm_across_shard_rings(self):
+        # Striding fresh lines through all shards: every shard's ring
+        # sees interleaved miss/evict traffic while the global clock
+        # orders evictions across them; equivalence must survive the
+        # churn and every ring must respect strict headroom.
+        cfg = GPUConfig(
+            num_sms=1, l1_kib=1, l1_line=128, l2_kib=2, l2_line=128,
+            l2_shards=4, dram_channels=2, dram_banks=2,
+        )
+        vec = VectorMemoryHierarchy(cfg)
+        ref = ReferenceMemoryHierarchy(cfg.with_(l2_shards=1))
+        max_ring = max(s._ring_size for s in vec.l2.shards)
+        now = 0
+        for i in range(4 * max_ring):
+            addr = ((i * 7) % 64) * 128
+            assert vec.load(0, addr, 0, 1, now) == ref.load(0, addr, 0, 1, now)
+            now += 2
+        for shard in vec.l2.shards:
+            assert shard._ht[1] - shard._ht[0] <= shard._ring_size
         assert hierarchy_state(vec) == hierarchy_state(ref)

@@ -55,10 +55,19 @@ def tiny_config(**overrides) -> GPUConfig:
     return GPUConfig(**base)
 
 
+#: The L2-organization axis of the equivalence grid: every front end is
+#: held to the *unsharded* reference oracle under both organizations,
+#: which is exactly the ShardedL2 invariant (global LRU over shards ==
+#: one big LRU).
+L2_ORG_SHARDS = {"unified": 1, "sharded": 4}
+
+
 def hierarchy_state(mem):
     """Every observable of a front end, LRU order included —
     representation-independent via ``lru_lines()``, so OrderedDict-,
-    dict- and ring-log-backed caches compare on equal terms."""
+    dict-, ring-log- and shard-backed caches compare on equal terms
+    (shard-local bookkeeping like ``l2_shard_probes`` is excluded: it
+    has no unified counterpart by construction)."""
     return {
         "l1_lines": [c.lru_lines() for c in mem.l1s],
         "l1_stats": [(c.hits, c.misses) for c in mem.l1s],
@@ -72,7 +81,10 @@ def hierarchy_state(mem):
             mem.dram.total_queue_cycles,
             mem.dram._jitter_state,
         ),
-        "stats": mem.stats(),
+        "stats": {
+            k: v for k, v in mem.stats().items()
+            if not k.startswith("l2_shard")
+        },
     }
 
 
@@ -92,20 +104,23 @@ instructions = st.lists(
 )
 
 
+@pytest.mark.parametrize("l2_org", ["unified", "sharded"])
 @pytest.mark.parametrize("front_end", ["fast", "vector", "reference"])
 class TestFrontEndEquivalence:
-    """Three-way differential battery: every registered front end is
-    held to the reference oracle on the same random instruction
-    streams.  (``reference`` vs a second ``reference`` instance is the
-    trivial row; it keeps the grid total and guards the oracle's own
-    determinism.)"""
+    """Front-end x L2-organization differential battery: every
+    registered front end, under both the unified L2 and the sharded
+    one, is held to the *unsharded* reference oracle on the same random
+    instruction streams.  (``reference``/``unified`` vs a second
+    ``reference`` instance is the trivial row; it keeps the grid total
+    and guards the oracle's own determinism.  The ``sharded`` rows are
+    the ShardedL2 bit-identity proof at the hierarchy level.)"""
 
     @settings(max_examples=60, deadline=None)
     @given(seq=instructions)
-    def test_matches_reference(self, front_end, seq):
-        cfg = tiny_config()
+    def test_matches_reference(self, front_end, l2_org, seq):
+        cfg = tiny_config(l2_shards=L2_ORG_SHARDS[l2_org])
         mem = make_memory(cfg, front_end)
-        ref = ReferenceMemoryHierarchy(cfg)
+        ref = ReferenceMemoryHierarchy(tiny_config())
         now = 0
         for sm_id, addr, spread, num_req, dt in seq:
             now += dt
@@ -116,12 +131,14 @@ class TestFrontEndEquivalence:
 
     @settings(max_examples=30, deadline=None)
     @given(seq=instructions)
-    def test_power_of_two_banks_take_mask_path(self, front_end, seq):
+    def test_power_of_two_banks_take_mask_path(self, front_end, l2_org, seq):
         # 2 * 4 = 8 banks: the DRAM models precompute a bank mask and
         # the line-to-bank map becomes an AND; results must not change.
-        cfg = tiny_config(dram_channels=2, dram_banks=4)
+        cfg = tiny_config(
+            dram_channels=2, dram_banks=4, l2_shards=L2_ORG_SHARDS[l2_org]
+        )
         mem = make_memory(cfg, front_end)
-        ref = ReferenceMemoryHierarchy(cfg)
+        ref = ReferenceMemoryHierarchy(tiny_config(dram_channels=2, dram_banks=4))
         assert mem.dram.bank_mask == 7
         now = 0
         for sm_id, addr, spread, num_req, dt in seq:
@@ -133,12 +150,12 @@ class TestFrontEndEquivalence:
 
     @settings(max_examples=30, deadline=None)
     @given(seq=instructions)
-    def test_equivalence_survives_reset(self, front_end, seq):
+    def test_equivalence_survives_reset(self, front_end, l2_org, seq):
         # The fast paths keep flat references into cache/DRAM state;
         # reset() must invalidate contents without stranding them.
-        cfg = tiny_config()
+        cfg = tiny_config(l2_shards=L2_ORG_SHARDS[l2_org])
         mem = make_memory(cfg, front_end)
-        ref = ReferenceMemoryHierarchy(cfg)
+        ref = ReferenceMemoryHierarchy(tiny_config())
         half = len(seq) // 2
         now = 0
         for sm_id, addr, spread, num_req, dt in seq[:half]:
@@ -157,14 +174,16 @@ class TestFrontEndEquivalence:
 
     @settings(max_examples=40, deadline=None)
     @given(seq=instructions)
-    def test_batched_load_matches_sequential_singles(self, front_end, seq):
+    def test_batched_load_matches_sequential_singles(
+        self, front_end, l2_org, seq
+    ):
         # Batched-vs-sequential: one n-transaction ``load`` must equal
         # the max over n single-transaction loads of the expanded
         # addresses at the same ``now``, and leave identical hierarchy
         # state — the defining decomposition of the batch semantics.
-        cfg = tiny_config()
+        cfg = tiny_config(l2_shards=L2_ORG_SHARDS[l2_org])
         mem = make_memory(cfg, front_end)
-        ref = ReferenceMemoryHierarchy(cfg)
+        ref = ReferenceMemoryHierarchy(tiny_config())
         now = 0
         for sm_id, addr, spread, num_req, dt in seq:
             now += dt
@@ -176,12 +195,14 @@ class TestFrontEndEquivalence:
             assert got == want
         assert hierarchy_state(mem) == hierarchy_state(ref)
 
-    def test_single_transaction_path_matches_batch_of_one(self, front_end):
+    def test_single_transaction_path_matches_batch_of_one(
+        self, front_end, l2_org
+    ):
         # The num_req == 1 specialization against the oracle, level by
         # level: DRAM miss, L2 hit (other SM), then L1 hit.
-        cfg = tiny_config()
+        cfg = tiny_config(l2_shards=L2_ORG_SHARDS[l2_org])
         mem = make_memory(cfg, front_end)
-        ref = ReferenceMemoryHierarchy(cfg)
+        ref = ReferenceMemoryHierarchy(tiny_config())
         for sm_id, now in ((0, 0), (1, 100), (0, 200)):
             assert mem.load(sm_id, 512, 0, 1, now) == ref.load(
                 sm_id, 512, 0, 1, now
@@ -326,6 +347,9 @@ class TestDictLRUEquivalence:
 
 
 def _fingerprint(result):
+    # Shard-local bookkeeping (probe balance) is excluded: it exists
+    # only under the sharded organization, while everything the serial
+    # machine observes must be identical across organizations.
     return (
         result.issued_warp_insts,
         result.wall_cycles,
@@ -333,23 +357,30 @@ def _fingerprint(result):
         tuple(result.per_sm_busy_cycles),
         result.skipped_warp_insts,
         result.extra_cycles,
-        tuple(sorted(result.mem_stats.items())),
+        tuple(sorted(
+            (k, v) for k, v in result.mem_stats.items()
+            if not k.startswith("l2_shard")
+        )),
     )
 
 
 @pytest.mark.parametrize("kernel", ["spmv", "lbm"])
 @pytest.mark.parametrize("scheduler", ["oldest", "lrr"])
 def test_engine_front_end_grid_bit_identical(kernel, scheduler):
-    """System-level closure: every engine x front-end combination (and
-    both schedulers, which route through different engine loops) yields
-    the same LaunchResults on real memory-bound kernels."""
+    """System-level closure: every engine x front-end x L2-organization
+    combination (and both schedulers, which route through different
+    engine loops) yields the same LaunchResults on real memory-bound
+    kernels."""
     from repro.workloads import get_workload
 
     launches = get_workload(kernel, scale=0.0625).launches[:2]
-    cfg = GPUConfig(scheduler=scheduler)
     prints = set()
-    for engine in ("compact", "reference"):
-        for front_end in ("fast", "reference", "vector"):
-            sim = GPUSimulator(cfg, engine=engine, mem_front_end=front_end)
-            prints.add(tuple(_fingerprint(sim.run_launch(l)) for l in launches))
+    for l2_org in ("unified", "sharded"):
+        cfg = GPUConfig(scheduler=scheduler, l2_shards=L2_ORG_SHARDS[l2_org])
+        for engine in ("compact", "reference"):
+            for front_end in ("fast", "reference", "vector"):
+                sim = GPUSimulator(cfg, engine=engine, mem_front_end=front_end)
+                prints.add(
+                    tuple(_fingerprint(sim.run_launch(l)) for l in launches)
+                )
     assert len(prints) == 1

@@ -1,0 +1,176 @@
+"""Bounded-skew SM-group simulation: correctness discipline tests.
+
+SM-group mode is the one deliberately *approximate* path in the
+simulator, so its tests pin the discipline rather than bit-identity:
+the degenerate case (``sm_groups=1``) IS bit-identical to the serial
+engine, block assignment and recomposition are deterministic, the
+process-pool fan-out changes nothing, and the IPC skew against the
+exact serial engine is always either measured or visibly ``None`` —
+never a silent zero — with ``skew_tolerance`` as a hard gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.exec.engine import ExecutionConfig
+from repro.sim import GPUSimulator
+from repro.sim.parallel import (
+    SMGroupRun,
+    group_config,
+    plan_sm_groups,
+    simulate_sm_groups,
+)
+from tests.conftest import make_manual_launch, make_uniform_kernel
+
+GPU = GPUConfig(num_sms=4, warps_per_sm=8)
+SERIAL = ExecutionConfig(jobs=1)
+
+
+def _launch(blocks: int = 24):
+    return make_uniform_kernel(
+        num_launches=1, blocks_per_launch=blocks, warps_per_block=2,
+        insts_per_warp=24,
+    ).launches[0]
+
+
+class TestPlanSMGroups:
+    def test_even_split(self):
+        assert plan_sm_groups(4, 2) == [[0, 1], [2, 3]]
+
+    def test_remainder_goes_to_leading_groups(self):
+        assert plan_sm_groups(14, 4) == [
+            [0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10], [11, 12, 13]
+        ]
+
+    def test_one_group_owns_everything(self):
+        assert plan_sm_groups(3, 1) == [[0, 1, 2]]
+
+    def test_groups_bounded_by_sms(self):
+        with pytest.raises(ValueError, match="exceeds num_sms"):
+            plan_sm_groups(2, 3)
+        with pytest.raises(ValueError, match=">= 1"):
+            plan_sm_groups(4, 0)
+
+    def test_group_config_shares_l2_proportionally(self):
+        cfg = GPUConfig(num_sms=4, l2_kib=512, l2_shards=2)
+        half = group_config(cfg, [0, 1])
+        assert half.num_sms == 2
+        assert half.l2_kib == 256
+        assert half.l2_shards == 2  # inherited, still exercised
+        # The share never collapses below a single KiB.
+        tiny = group_config(GPUConfig(num_sms=64, l2_kib=16), [0])
+        assert tiny.l2_kib == 1
+
+
+class TestDegeneracy:
+    def test_one_group_is_the_serial_engine(self):
+        launch = _launch()
+        run = simulate_sm_groups(launch, GPU, sm_groups=1, exec_config=SERIAL)
+        serial = GPUSimulator(GPU).run_launch(launch)
+        assert run.issued_warp_insts == serial.issued_warp_insts
+        assert run.wall_cycles == serial.wall_cycles
+        assert run.per_sm_issued == list(serial.per_sm_issued)
+        assert run.machine_ipc == serial.machine_ipc
+        assert run.ipc_skew == 0.0
+
+    def test_more_groups_than_blocks_leaves_empty_groups(self):
+        launch = make_manual_launch([16, 16])  # 2 blocks on 4 SMs
+        run = simulate_sm_groups(
+            launch, GPU, sm_groups=4, exec_config=SERIAL
+        )
+        assert sum(r is None for r in run.group_results) == 2
+        # Empty groups contribute zero-padded per-SM slots, keeping the
+        # recomposed machine shape intact.
+        assert len(run.per_sm_issued) == GPU.num_sms
+        serial = GPUSimulator(GPU).run_launch(launch)
+        assert run.issued_warp_insts == serial.issued_warp_insts
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self):
+        launch = _launch()
+        runs = [
+            simulate_sm_groups(launch, GPU, sm_groups=2, exec_config=SERIAL)
+            for _ in range(2)
+        ]
+        assert runs[0].issued_warp_insts == runs[1].issued_warp_insts
+        assert runs[0].wall_cycles == runs[1].wall_cycles
+        assert runs[0].per_sm_issued == runs[1].per_sm_issued
+        assert runs[0].ipc_skew == runs[1].ipc_skew
+
+    @pytest.mark.slow
+    def test_parallel_fanout_matches_serial_fanout(self):
+        launch = _launch(32)
+        a = simulate_sm_groups(launch, GPU, sm_groups=2, exec_config=SERIAL)
+        b = simulate_sm_groups(
+            launch, GPU, sm_groups=2,
+            exec_config=ExecutionConfig(jobs=2),
+        )
+        if b.exec_meta.get("path") != "parallel":
+            pytest.skip(f"pool unavailable: {b.exec_meta.get('reason')}")
+        assert a.issued_warp_insts == b.issued_warp_insts
+        assert a.wall_cycles == b.wall_cycles
+        assert a.per_sm_issued == b.per_sm_issued
+
+
+class TestSkewDiscipline:
+    def test_skew_measured_by_default(self):
+        run = simulate_sm_groups(
+            _launch(), GPU, sm_groups=2, exec_config=SERIAL
+        )
+        assert run.serial_ipc is not None
+        assert run.ipc_skew is not None
+        assert run.ipc_skew >= 0.0
+
+    def test_unmeasured_skew_is_none_not_zero(self):
+        run = simulate_sm_groups(
+            _launch(), GPU, sm_groups=2, exec_config=SERIAL,
+            measure_skew=False,
+        )
+        assert run.serial_ipc is None
+        assert run.ipc_skew is None
+
+    def test_serial_baseline_reused_instead_of_resimulating(self):
+        launch = _launch()
+        baseline = GPUSimulator(GPU).run_launch(launch)
+        run = simulate_sm_groups(
+            launch, GPU, sm_groups=2, exec_config=SERIAL,
+            measure_skew=False, serial_baseline=baseline,
+        )
+        assert run.serial_ipc == baseline.machine_ipc
+        assert run.ipc_skew is not None
+
+    def test_tolerance_gate_fires(self):
+        with pytest.raises(ValueError, match="exceeds tolerance"):
+            simulate_sm_groups(
+                _launch(), GPU, sm_groups=4, exec_config=SERIAL,
+                skew_tolerance=0.0,
+            )
+
+    def test_tolerance_without_measurement_rejected(self):
+        with pytest.raises(ValueError, match="not measured"):
+            simulate_sm_groups(
+                _launch(), GPU, sm_groups=2, exec_config=SERIAL,
+                measure_skew=False, skew_tolerance=0.1,
+            )
+
+    def test_generous_tolerance_passes(self):
+        run = simulate_sm_groups(
+            _launch(), GPU, sm_groups=2, exec_config=SERIAL,
+            skew_tolerance=1.0,
+        )
+        assert run.ipc_skew is not None
+        assert run.ipc_skew <= 1.0
+
+    def test_skew_property_edge_cases(self):
+        run = SMGroupRun(
+            launch_id=0, sm_groups=2, group_sm_ids=[[0], [1]],
+            group_results=[None, None],
+        )
+        assert run.ipc_skew is None          # unmeasured
+        run.serial_ipc = 0.0
+        assert run.ipc_skew == 0.0           # 0/0: both machines idle
+        assert run.machine_ipc == 0.0
+        assert run.wall_cycles == 0
