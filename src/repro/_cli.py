@@ -14,8 +14,11 @@ Every experiment in the evaluation can be regenerated from the shell:
 * ``simulate KERNEL`` — one timing-simulator launch, with
   ``--mem-stats`` for the memory-hierarchy statistics (L1/L2 hit
   rates, DRAM row-hit rate, mean queue delay);
-* ``cache info`` / ``cache clear`` — persistent profile-cache status
-  and maintenance;
+* ``cache info`` / ``cache clear`` — persistent profile-cache and
+  journal-directory status and maintenance;
+* ``serve`` / ``request`` — the warm-state simulation service: a
+  long-lived daemon that keeps engines, traces and profiles warm
+  across requests (DESIGN.md §13), and its one-shot client;
 * ``lint`` — static determinism / process-safety / hot-loop /
   oracle-parity checks over the source tree (DESIGN.md §10).
 
@@ -240,12 +243,18 @@ def cmd_model(args: argparse.Namespace) -> None:
 
 
 def cmd_cache(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from repro.exec import journals_info
+
     cache = ProfileCache(args.cache_dir)
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached profile(s) from {cache.root}")
         return
     info = cache.info()
+    journal_dir = Path(args.cache_dir) / "journals" if args.cache_dir else None
+    journals = journals_info(journal_dir)
     print(render_table(
         ["field", "value"],
         [
@@ -256,6 +265,10 @@ def cmd_cache(args: argparse.Namespace) -> None:
             ("cumulative misses", str(info["misses"])),
             ("profiler version", str(info["profiler_version"])),
             ("entry format version", str(info["format_version"])),
+            ("journals directory", journals["dir"]),
+            ("journals", str(journals["journals"])),
+            ("journals size", f"{journals['bytes']:,} bytes"),
+            ("newest sweep key", journals["newest_key"] or "none"),
         ],
         title="Profile cache",
     ))
@@ -273,6 +286,11 @@ def cmd_simulate(args: argparse.Namespace) -> None:
             f"{len(kernel.launches)} launches at this scale"
         )
     launch = kernel.launches[args.launch]
+    if args.block_memo is not None:
+        try:
+            launch.resize_block_memo(args.block_memo or launch.num_blocks)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
     try:
         gpu = GPUConfig(l2_shards=args.l2_shards)
     except ValueError as exc:
@@ -299,6 +317,12 @@ def cmd_simulate(args: argparse.Namespace) -> None:
         ("wall cycles", f"{result.wall_cycles:,}"),
         ("warp IPC", f"{ipc:.3f}"),
     ]
+    if result.counters is not None:
+        rows.append(
+            ("block regenerations (memo window "
+             f"{launch.block_memo})",
+             f"{result.counters.block_regenerations:,}")
+        )
     if args.mem_stats:
         m = result.mem_stats
         rows.extend([
@@ -364,6 +388,89 @@ def _simulate_sm_groups_cmd(args, launch, gpu, simulate_sm_groups) -> None:
         ["field", "value"], rows,
         title=f"SM-group simulation — {args.kernel} launch {args.launch}",
     ))
+
+
+def cmd_serve(args: argparse.Namespace) -> None:
+    """``repro serve``: run the warm-state simulation daemon until a
+    ``shutdown`` request drains it (DESIGN.md §13)."""
+    import asyncio
+    import os
+
+    from repro.serve import ServeConfig, Server
+
+    try:
+        config = ServeConfig(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            max_concurrency=args.max_concurrency,
+            block_memo=args.block_memo,
+            journal=args.journal,
+            cache_dir=args.cache_dir,
+            metrics_json=args.metrics_json,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    server = Server(config)
+
+    async def body() -> None:
+        await server.start()
+        if server.address is not None:
+            host, port = server.address
+            where = f"{host}:{port}"
+        else:
+            where = server.socket_path
+        print(f"serving on {where} (pid {os.getpid()}); "
+              "send a 'shutdown' request to drain and exit", flush=True)
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(body())
+    except KeyboardInterrupt:
+        pass  # Ctrl-C skips the drain; 'repro request shutdown' drains.
+    except OSError as exc:
+        raise SystemExit(f"cannot listen: {exc}") from exc
+
+
+def cmd_request(args: argparse.Namespace) -> None:
+    """``repro request``: one request against a running daemon; prints
+    the JSON result payload (identical to what the server computed)."""
+    import json
+
+    from repro.serve import ServeClient, ServeError, default_socket_path
+
+    if args.host is not None:
+        target = {"host": args.host, "port": args.port}
+        if args.port is None:
+            raise SystemExit("--host needs an explicit --port")
+    else:
+        target = {
+            "socket_path": args.socket or default_socket_path(args.cache_dir)
+        }
+    params: dict | None = None
+    if args.kind in ("simulate", "tbpoint"):
+        if not args.kernel:
+            raise SystemExit(f"{args.kind} requests need a kernel")
+        params = {
+            "kernel": args.kernel,
+            "scale": args.scale,
+            "seed": args.seed,
+            "engine": args.engine,
+            "mem_front_end": args.mem_front_end,
+            "l2_shards": args.l2_shards,
+        }
+        if args.kind == "simulate":
+            params["launch"] = args.launch
+        if args.timeout is not None:
+            params["timeout"] = args.timeout
+    elif args.kernel:
+        raise SystemExit(f"'{args.kind}' requests take no kernel")
+    try:
+        with ServeClient(**target) as client:
+            result = client.call(args.kind, params)
+    except (ServeError, OSError) as exc:
+        raise SystemExit(f"request failed: {exc}") from exc
+    print(json.dumps(result, indent=2, sort_keys=True))
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -502,6 +609,14 @@ def build_parser() -> argparse.ArgumentParser:
              "bit-identical to the unified cache, default 1)",
     )
     p.add_argument(
+        "--block-memo", type=int, default=None, metavar="N",
+        help="block-memo window for the simulated launch (0 = the "
+             "launch's full block count; default: keep the built-in "
+             "window).  A pure perf knob: results are bit-identical "
+             "for any window; the block-regenerations row shows the "
+             "re-synthesis it saves",
+    )
+    p.add_argument(
         "--sm-groups", type=int, default=1, metavar="N",
         help="bounded-skew parallel mode: split the SMs into N "
              "independent groups with relaxed cross-group L2 ordering "
@@ -511,6 +626,76 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("cache", help="persistent profile-cache maintenance")
     p.add_argument("action", choices=["info", "clear"])
+
+    p = sub.add_parser(
+        "serve",
+        help="run the warm-state simulation daemon: engines, traces and "
+             "profiles stay warm across requests (DESIGN.md §13)",
+    )
+    p.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="unix socket to listen on (default: <cache root>/serve.sock)",
+    )
+    p.add_argument(
+        "--host", default=None,
+        help="listen on TCP instead of a unix socket",
+    )
+    p.add_argument(
+        "--port", type=int, default=0, metavar="N",
+        help="TCP port with --host (0 = ephemeral, printed at startup)",
+    )
+    p.add_argument(
+        "--max-concurrency", type=int, default=2, metavar="N",
+        help="compute requests admitted simultaneously (default 2); "
+             "the rest queue",
+    )
+    p.add_argument(
+        "--block-memo", type=int, default=0, metavar="N",
+        help="block-memo window for resident launch traces "
+             "(default 0 = each launch's full block count, i.e. "
+             "regeneration-free)",
+    )
+    p.add_argument(
+        "--journal", action="store_true",
+        help="record served payloads to the serve journal and replay "
+             "them idempotently, including across restarts",
+    )
+    p.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="dump the final stats payload to this file on shutdown",
+    )
+
+    p = sub.add_parser(
+        "request",
+        help="send one request to a running simulation daemon and print "
+             "the JSON result",
+    )
+    p.add_argument(
+        "kind", choices=["simulate", "tbpoint", "stats", "ping", "shutdown"],
+    )
+    p.add_argument("kernel", nargs="?", choices=ALL_KERNELS)
+    p.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="unix socket of the daemon (default: <cache root>/serve.sock)",
+    )
+    p.add_argument("--host", default=None, help="connect over TCP instead")
+    p.add_argument("--port", type=int, default=None, metavar="N")
+    p.add_argument(
+        "--launch", type=int, default=0, metavar="N",
+        help="launch index for simulate requests (default 0)",
+    )
+    p.add_argument(
+        "--engine", choices=["compact", "reference"], default="compact",
+    )
+    p.add_argument(
+        "--mem-front-end", choices=list(MEMORY_FRONT_ENDS), default="fast",
+    )
+    p.add_argument("--l2-shards", type=int, default=1, metavar="N")
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline while queued server-side (the "
+             "simulation still completes and warms the server)",
+    )
 
     from repro.devtools.lint.cli import configure_parser as _configure_lint
 
@@ -534,6 +719,8 @@ _COMMANDS = {
     "table1": cmd_table1,
     "simulate": cmd_simulate,
     "cache": cmd_cache,
+    "serve": cmd_serve,
+    "request": cmd_request,
     "lint": cmd_lint,
 }
 

@@ -54,6 +54,7 @@ from repro.exec.journal import (
     JOURNAL_FORMAT_VERSION,
     SweepJournal,
     default_journal_dir,
+    journals_info,
     list_journals,
     open_sweep_journal,
     sweep_key,
@@ -82,6 +83,7 @@ __all__ = [
     "SweepJournal",
     "JOURNAL_FORMAT_VERSION",
     "default_journal_dir",
+    "journals_info",
     "list_journals",
     "open_sweep_journal",
     "sweep_key",

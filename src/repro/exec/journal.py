@@ -68,6 +68,31 @@ def list_journals(journal_dir: str | Path | None = None) -> list[Path]:
     return sorted(root.glob("*.jsonl"))
 
 
+def journals_info(journal_dir: str | Path | None = None) -> dict:
+    """What ``repro cache info`` reports about the journals directory:
+    how many sweep journals exist, their total size, and the sweep key
+    of the most recently written one (its filename stem — journals are
+    content-keyed, so the stem *is* the sweep identity)."""
+    root = Path(journal_dir) if journal_dir else default_journal_dir()
+    journals = list_journals(root)
+    sizes: list[int] = []
+    newest: tuple[float, str] | None = None
+    for path in journals:
+        try:
+            stat = path.stat()
+        except OSError:
+            continue  # unlinked between glob and stat; skip, don't crash
+        sizes.append(stat.st_size)
+        if newest is None or stat.st_mtime > newest[0]:
+            newest = (stat.st_mtime, path.stem)
+    return {
+        "dir": str(root),
+        "journals": len(sizes),
+        "bytes": sum(sizes),
+        "newest_key": newest[1] if newest else None,
+    }
+
+
 def sweep_key(sweep: str, params: object) -> str:
     """Content key of one sweep invocation: the driver name plus the
     ``repr`` of every result-shaping parameter (all are frozen
@@ -186,6 +211,8 @@ __all__ = [
     "JOURNAL_FORMAT_VERSION",
     "SweepJournal",
     "default_journal_dir",
+    "journals_info",
+    "list_journals",
     "open_sweep_journal",
     "sweep_key",
 ]

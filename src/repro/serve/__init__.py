@@ -1,0 +1,52 @@
+"""Warm-state simulation service: ``repro serve`` / ``repro request``.
+
+A long-lived daemon (:mod:`repro.serve.server`) owns warm simulation
+state — keyed engine registry, resident kernel traces with enlarged
+block-memo windows, in-memory profile mirror, optional journal-backed
+idempotent replay — and amortizes process cold-start across requests.
+Clients (:mod:`repro.serve.client`) speak a length-prefixed JSON
+protocol (:mod:`repro.serve.protocol`); request semantics and the
+bit-identity oracle live in :mod:`repro.serve.payloads`.
+
+DESIGN.md §13 documents the architecture and the measured warm/cold
+latency; ``benchmarks/bench_serve.py`` produces ``BENCH_serve.json``.
+"""
+
+from repro.serve.client import ServeClient, ServeError, wait_for_server
+from repro.serve.payloads import (
+    RESULTS_VERSION,
+    RequestError,
+    direct_payload,
+    normalize_request,
+    payloads_equal,
+    request_key,
+)
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.server import (
+    ServeConfig,
+    ServeCounters,
+    Server,
+    ServerThread,
+    default_socket_path,
+    run_server,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "RESULTS_VERSION",
+    "ProtocolError",
+    "RequestError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeCounters",
+    "ServeError",
+    "Server",
+    "ServerThread",
+    "default_socket_path",
+    "direct_payload",
+    "normalize_request",
+    "payloads_equal",
+    "request_key",
+    "run_server",
+    "wait_for_server",
+]

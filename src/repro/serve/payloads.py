@@ -1,0 +1,230 @@
+"""Request normalization, content keys, and JSON result payloads.
+
+This module is the *semantics* of the simulation service, kept free of
+any socket or asyncio machinery so the bit-identity oracle is a plain
+function call:
+
+* :func:`normalize_request` canonicalizes a raw request-parameter dict
+  (fill defaults, coerce types, validate against the registries) into
+  the normal form both the server and the oracle consume;
+* :func:`request_key` derives the request's *content key* from that
+  normal form via :func:`repro.exec.journal.sweep_key` — the same
+  content-addressing machinery the sweep checkpoint journal uses, so
+  served results are idempotent under exactly the keying discipline
+  PR 4 established (duplicate in-flight requests coalesce on it, and
+  the optional serve journal replays on it across restarts);
+* :func:`result_payload` / :func:`tbpoint_payload` render results as
+  JSON-native dicts (ints, floats, lists) — what crosses the wire is
+  exactly what the oracle compares, no pickles;
+* :func:`direct_payload` computes the payload for a request *from
+  scratch in a fresh simulator* — a fresh ``repro run`` of the same
+  request.  Every served estimate must equal it bit-for-bit; the serve
+  test suite and ``benchmarks/bench_serve.py`` assert exactly that.
+
+Why bit-identity holds: workload synthesis is deterministic in
+``(kernel, scale, seed)``; ``run_launch`` resets the memory hierarchy
+per launch, so timing never depends on simulation order or on how warm
+an engine is; the block-memo window and trace interning are pure
+caches.  A warm served result and a cold direct run are therefore the
+same pure function evaluated twice.
+"""
+
+from __future__ import annotations
+
+from repro.config import GPUConfig, SamplingConfig
+from repro.exec.engine import ExecutionConfig
+from repro.exec.journal import sweep_key
+from repro.sim.gpu import GPUSimulator, LaunchResult
+from repro.sim.memory import MEMORY_FRONT_ENDS
+from repro.workloads import ALL_KERNELS, get_workload
+
+#: Version of the served-payload schema; salts request content keys and
+#: the serve journal identity so schema changes can never replay stale
+#: payloads recorded by an older server.
+RESULTS_VERSION = 1
+
+#: Request kinds that run a simulation (and therefore coalesce/journal).
+COMPUTE_KINDS = ("simulate", "tbpoint")
+
+
+class RequestError(ValueError):
+    """A malformed or unsatisfiable request (client's fault, reported
+    in the error response; never tears down the server)."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise RequestError(message)
+
+
+def normalize_request(kind: str, params: dict) -> dict:
+    """Canonical normal form of one compute request.
+
+    Fills defaults, coerces numeric types (JSON clients may send ``1``
+    for ``1.0`` and vice versa) and validates names against the kernel,
+    engine and memory-front-end registries.  Two requests that mean the
+    same simulation normalize identically — which is what makes
+    :func:`request_key` a true content key.
+    """
+    _require(kind in COMPUTE_KINDS, f"unknown compute kind {kind!r}")
+    _require(isinstance(params, dict), "params must be an object")
+    known = {"kernel", "scale", "seed", "launch", "engine",
+             "mem_front_end", "l2_shards", "timeout"}
+    unknown = set(params) - known
+    _require(not unknown, f"unknown request parameters: {sorted(unknown)}")
+
+    kernel = params.get("kernel")
+    _require(isinstance(kernel, str) and kernel in ALL_KERNELS,
+             f"unknown kernel {kernel!r}; known: {list(ALL_KERNELS)}")
+    try:
+        scale = float(params.get("scale", 0.125))
+        seed = int(params.get("seed", 2014))
+        launch = int(params.get("launch", 0))
+        l2_shards = int(params.get("l2_shards", 1))
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"malformed numeric parameter: {exc}") from exc
+    _require(0 < scale <= 1, "scale must be in (0, 1]")
+    _require(launch >= 0, "launch must be >= 0")
+    engine = params.get("engine", "compact")
+    _require(engine in GPUSimulator.ENGINES,
+             f"unknown engine {engine!r}; choose from {GPUSimulator.ENGINES}")
+    mem_front_end = params.get("mem_front_end", "fast")
+    _require(mem_front_end in MEMORY_FRONT_ENDS,
+             f"unknown mem_front_end {mem_front_end!r}; "
+             f"choose from {tuple(MEMORY_FRONT_ENDS)}")
+    try:
+        GPUConfig(l2_shards=l2_shards)
+    except ValueError as exc:
+        raise RequestError(str(exc)) from exc
+    norm = {
+        "kind": kind,
+        "kernel": kernel,
+        "scale": scale,
+        "seed": seed,
+        "engine": engine,
+        "mem_front_end": mem_front_end,
+        "l2_shards": l2_shards,
+    }
+    if kind == "simulate":
+        norm["launch"] = launch
+    elif "launch" in params:
+        raise RequestError("tbpoint requests estimate the whole kernel; "
+                           "'launch' applies to simulate requests only")
+    return norm
+
+
+def request_key(norm: dict) -> str:
+    """Content key of a normalized request — the PR 4 journal keying
+    (:func:`~repro.exec.journal.sweep_key`) over every result-shaping
+    parameter, salted with the payload schema version."""
+    ident = tuple(sorted(norm.items())) + (("results", RESULTS_VERSION),)
+    return sweep_key("serve", ident)
+
+
+def gpu_config(norm: dict) -> GPUConfig:
+    return GPUConfig(l2_shards=norm["l2_shards"])
+
+
+# ----------------------------------------------------------------------
+# Result payloads (JSON-native: what crosses the wire IS the oracle's
+# comparison object; json round-trips of ints/floats are exact)
+# ----------------------------------------------------------------------
+def _json_stats(stats: dict) -> dict:
+    return {
+        k: list(v) if isinstance(v, tuple) else v for k, v in stats.items()
+    }
+
+
+def result_payload(result: LaunchResult) -> dict:
+    """JSON-native summary of one launch simulation."""
+    counters = result.counters
+    return {
+        "launch_id": int(result.launch_id),
+        "issued_warp_insts": int(result.issued_warp_insts),
+        "wall_cycles": int(result.wall_cycles),
+        "skipped_warp_insts": int(result.skipped_warp_insts),
+        "machine_ipc": float(result.machine_ipc),
+        "per_sm_issued": [int(v) for v in result.per_sm_issued],
+        "per_sm_busy_cycles": [int(v) for v in result.per_sm_busy_cycles],
+        "mem_stats": _json_stats(result.mem_stats),
+        "block_regenerations": (
+            int(counters.block_regenerations) if counters is not None else None
+        ),
+    }
+
+
+def tbpoint_payload(result) -> dict:
+    """JSON-native summary of one TBPoint kernel estimate
+    (:class:`~repro.core.pipeline.TBPointResult`)."""
+    return {
+        "kernel": result.kernel_name,
+        "overall_ipc": float(result.overall_ipc),
+        "sample_size": float(result.sample_size),
+        "num_launches": len(result.estimate.launches),
+        "simulated_launches": sorted(int(k) for k in result.rep_results),
+        "inter_skipped_insts": int(result.inter_skipped_insts),
+        "intra_skipped_insts": int(result.intra_skipped_insts),
+    }
+
+
+# ----------------------------------------------------------------------
+# The oracle: a fresh direct run of the same request
+# ----------------------------------------------------------------------
+def direct_payload(norm: dict) -> dict:
+    """Compute the payload for a normalized request from scratch — a
+    fresh workload build, a fresh (cold) simulator, no caches.  This is
+    what ``repro run``/``repro simulate`` would produce for the same
+    request; every served payload must equal it exactly.
+
+    ``block_regenerations`` is the one field the oracle *recomputes
+    against its own default memo window* — it is observability of the
+    cache, not of the simulated machine, so the serve tests compare it
+    separately (the daemon's enlarged window must drive it to zero, not
+    match the cold run's thrash).
+    """
+    kernel = get_workload(norm["kernel"], scale=norm["scale"], seed=norm["seed"])
+    gpu = gpu_config(norm)
+    simulator = GPUSimulator(
+        gpu, engine=norm["engine"], mem_front_end=norm["mem_front_end"]
+    )
+    if norm["kind"] == "simulate":
+        _require(
+            norm["launch"] < len(kernel.launches),
+            f"launch {norm['launch']} out of range: {norm['kernel']} has "
+            f"{len(kernel.launches)} launches at scale {norm['scale']:g}",
+        )
+        result = simulator.run_launch(kernel.launches[norm["launch"]])
+        return result_payload(result)
+    from repro.core.pipeline import run_tbpoint
+
+    tbp = run_tbpoint(
+        kernel,
+        gpu,
+        SamplingConfig(),
+        simulator=simulator,
+        exec_config=ExecutionConfig(jobs=1, use_cache=False),
+    )
+    return tbpoint_payload(tbp)
+
+
+def payloads_equal(served: dict, direct: dict) -> bool:
+    """The bit-identity predicate: every field equal except
+    ``block_regenerations`` (cache observability, see
+    :func:`direct_payload`)."""
+    a = {k: v for k, v in served.items() if k != "block_regenerations"}
+    b = {k: v for k, v in direct.items() if k != "block_regenerations"}
+    return a == b
+
+
+__all__ = [
+    "COMPUTE_KINDS",
+    "RESULTS_VERSION",
+    "RequestError",
+    "direct_payload",
+    "gpu_config",
+    "normalize_request",
+    "payloads_equal",
+    "request_key",
+    "result_payload",
+    "tbpoint_payload",
+]

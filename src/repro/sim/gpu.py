@@ -121,6 +121,12 @@ class SimCounters:
     #: ``ShardedL2.shard_imbalance``).
     l2_shard_probes: tuple = ()
     l2_shard_imbalance: float = 0.0
+    #: Thread blocks re-synthesized because the launch's block-memo
+    #: window (``LaunchTrace.block_memo``) had already evicted them —
+    #: the per-run re-synthesis thrash of >window-block launches.  Zero
+    #: when the window covers the launch (e.g. the resident traces a
+    #: long-lived ``repro serve`` process keeps warm).
+    block_regenerations: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -502,6 +508,7 @@ class GPUSimulator:
         issued = 0
 
         get_block = launch.block
+        regen0 = launch.regenerations
         has_sampler = sampler is not None
 
         # Trace interning: unique warp traces are keyed by the identity
@@ -1220,6 +1227,7 @@ class GPUSimulator:
             mem_vector_drains=mem.vector_drains - mvd0,
             l2_shard_probes=shard_probes,
             l2_shard_imbalance=shard_imbalance,
+            block_regenerations=launch.regenerations - regen0,
         )
         return LaunchResult(
             launch_id=launch.launch_id,

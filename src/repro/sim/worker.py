@@ -13,6 +13,12 @@ requested (config, engine, front end) triple matches and transparently
 rebuilds it otherwise (e.g. a respawned pool serving a different sweep
 point, or the in-parent serial fallback of a degraded task).
 
+The *identity under which a warm simulator may be reused* is factored
+out as :func:`simulator_key` / :func:`simulator_matches` so every warm
+registry in the tree — this per-process slot, and the multi-engine
+keyed registry the ``repro serve`` daemon keeps across requests — keys
+engines the same way and can never reuse across a config change.
+
 Correctness does not depend on reuse: ``run_launch`` resets the memory
 hierarchy per launch and the interning cache is an id-pinned pure
 cache, so a warm simulator is bit-identical to a fresh one (the
@@ -27,6 +33,33 @@ from repro.sim.gpu import GPUSimulator
 
 #: The process-local warm simulator (None until first use).
 _SIM: GPUSimulator | None = None
+
+
+def simulator_key(
+    gpu: GPUConfig,
+    engine: str = "compact",
+    mem_front_end: str = "fast",
+) -> tuple:
+    """The reuse identity of a warm simulator: the exact (config,
+    engine, front end) triple.  :class:`~repro.config.GPUConfig` is a
+    frozen (hashable, eq-by-value) dataclass, so the tuple is usable
+    directly as a registry key and two keys compare equal iff a
+    simulator built for one is interchangeable with the other."""
+    return (gpu, engine, mem_front_end)
+
+
+def simulator_matches(
+    sim: GPUSimulator,
+    gpu: GPUConfig,
+    engine: str = "compact",
+    mem_front_end: str = "fast",
+) -> bool:
+    """Is this warm simulator reusable for the requested triple?"""
+    return (
+        sim.config == gpu
+        and sim.engine == engine
+        and sim.mem_front_end == mem_front_end
+    )
 
 
 def init_worker(
@@ -51,21 +84,20 @@ def get_simulator(
     """The process-local simulator for this configuration triple.
 
     Returns the warm instance built by :func:`init_worker` (or by a
-    previous task) when configuration, engine and memory front end all
-    match — :class:`~repro.config.GPUConfig` is a frozen dataclass, so
-    the comparison is exact — and builds a replacement otherwise.
+    previous task) when :func:`simulator_matches` accepts it, and
+    builds a replacement otherwise.
     """
     global _SIM
     sim = _SIM
-    if (
-        sim is None
-        or sim.config != gpu
-        or sim.engine != engine
-        or sim.mem_front_end != mem_front_end
-    ):
+    if sim is None or not simulator_matches(sim, gpu, engine, mem_front_end):
         sim = GPUSimulator(gpu, engine=engine, mem_front_end=mem_front_end)
         _SIM = sim
     return sim
 
 
-__all__ = ["init_worker", "get_simulator"]
+__all__ = [
+    "init_worker",
+    "get_simulator",
+    "simulator_key",
+    "simulator_matches",
+]

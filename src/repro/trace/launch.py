@@ -7,9 +7,14 @@ from typing import Callable, Iterator
 
 from repro.trace.blocktrace import BlockTrace
 
-#: Number of recently generated blocks kept alive.  The timing simulator
-#: touches blocks roughly in dispatch order, so a small window covering
-#: the maximum system occupancy is enough to make regeneration rare.
+#: Default number of recently generated blocks kept alive.  The timing
+#: simulator touches blocks roughly in dispatch order, so a small window
+#: covering the maximum system occupancy is enough to make regeneration
+#: rare *within* one pass; re-walking a launch wider than the window
+#: (>256-block launches, or a re-simulation of the same trace) pays the
+#: synthesis cost again — which is what :attr:`LaunchTrace.block_memo`
+#: and the ``block_regenerations`` counter exist to make visible and,
+#: for long-lived processes such as ``repro serve``, eliminate.
 _BLOCK_CACHE_SIZE = 256
 
 
@@ -18,10 +23,18 @@ class LaunchTrace:
     thread-block-ID order by the greedy global scheduler (Section II-A).
 
     Thread-block traces are synthesized on demand by ``factory(tb_id)``
-    and memoized in a small LRU window.  The factory must be
-    deterministic: calling it twice with the same ID yields identical
-    traces, which is what lets the functional profiler and the timing
-    simulator agree without storing the trace.
+    and memoized in an LRU window of ``block_memo`` entries (default
+    :data:`_BLOCK_CACHE_SIZE`).  The factory must be deterministic:
+    calling it twice with the same ID yields identical traces, which is
+    what lets the functional profiler and the timing simulator agree
+    without storing the trace — and what makes the memo window a pure
+    performance knob that can never change results.
+
+    ``regenerations`` counts factory calls for blocks that had already
+    been synthesized once and were evicted from the window — the
+    re-synthesis thrash a too-small window causes on launches wider
+    than it.  :class:`~repro.sim.gpu.SimCounters` snapshots the delta
+    per simulated launch.
     """
 
     def __init__(
@@ -32,18 +45,28 @@ class LaunchTrace:
         warps_per_block: int,
         factory: Callable[[int], BlockTrace],
         num_bbs: int = 1,
+        block_memo: int | None = None,
     ):
         if num_blocks <= 0:
             raise ValueError("launch with no thread blocks")
         if warps_per_block <= 0:
             raise ValueError("warps_per_block must be positive")
+        if block_memo is not None and block_memo <= 0:
+            raise ValueError("block_memo must be positive (or None)")
         self.kernel_name = kernel_name
         self.launch_id = launch_id
         self.num_blocks = num_blocks
         self.warps_per_block = warps_per_block
         self.num_bbs = num_bbs
+        self.block_memo = (
+            int(block_memo) if block_memo is not None else _BLOCK_CACHE_SIZE
+        )
         self._factory = factory
         self._cache: OrderedDict[int, BlockTrace] = OrderedDict()
+        #: Factory calls for blocks generated before but since evicted.
+        self.regenerations = 0
+        #: Lazily allocated has-been-generated bitmap (1 byte/block).
+        self._seen: bytearray | None = None
 
     def block(self, tb_id: int) -> BlockTrace:
         """Return the trace of thread block ``tb_id`` (0-based)."""
@@ -56,17 +79,39 @@ class LaunchTrace:
         block = self._factory(tb_id)
         if block.tb_id != tb_id:
             raise ValueError("factory returned a block with the wrong ID")
+        seen = self._seen
+        if seen is None:
+            seen = self._seen = bytearray(self.num_blocks)
+        if seen[tb_id]:
+            self.regenerations += 1
+        else:
+            seen[tb_id] = 1
         self._cache[tb_id] = block
-        if len(self._cache) > _BLOCK_CACHE_SIZE:
+        if len(self._cache) > self.block_memo:
             self._cache.popitem(last=False)
         return block
 
+    def resize_block_memo(self, window: int) -> None:
+        """Resize the memo window in place (a pure performance knob:
+        blocks are deterministic, so results can never depend on it).
+        Shrinking evicts least-recently-used entries immediately."""
+        if window <= 0:
+            raise ValueError("block_memo must be positive")
+        self.block_memo = int(window)
+        cache = self._cache
+        while len(cache) > window:
+            cache.popitem(last=False)
+
     def __getstate__(self) -> dict:
         """Pickle support: the memoization window is dropped (workers
-        regenerate blocks on demand), so a launch pickles iff its factory
-        does — true for all spec-synthesized workload launches."""
+        regenerate blocks on demand) and the regeneration bookkeeping
+        restarts, so a launch pickles iff its factory does — true for
+        all spec-synthesized workload launches.  ``block_memo`` itself
+        survives the round trip."""
         state = self.__dict__.copy()
         state["_cache"] = OrderedDict()
+        state["_seen"] = None
+        state["regenerations"] = 0
         return state
 
     def iter_blocks(self) -> Iterator[BlockTrace]:

@@ -104,3 +104,45 @@ class TestCommands:
                 ["--scale", "0.02", "simulate", "stream",
                  "--launch", "99999"]
             )
+
+    def test_simulate_block_memo_row(self, capsys):
+        assert main(
+            ["--scale", "0.02", "simulate", "stream", "--block-memo", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "block regenerations (memo window 8)" in out
+
+    def test_simulate_rejects_negative_block_memo(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["--scale", "0.02", "simulate", "stream",
+                 "--block-memo", "-3"]
+            )
+
+    def test_cache_info_reports_journals(self, capsys, tmp_path):
+        from repro.exec import SweepJournal
+
+        journal = SweepJournal.for_sweep(
+            "serve", ("p",), tmp_path / "journals"
+        )
+        journal.record("stream", 1)
+        assert main(["--cache-dir", str(tmp_path), "cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "journals directory" in out
+        assert str(tmp_path / "journals") in out
+        assert "newest sweep key" in out
+        assert journal.path.stem in out
+
+    def test_request_needs_kernel_for_compute(self):
+        with pytest.raises(SystemExit):
+            main(["request", "simulate"])
+
+    def test_request_rejects_kernel_for_stats(self):
+        with pytest.raises(SystemExit):
+            main(["request", "stats", "stream"])
+
+    def test_request_against_absent_server_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["request", "ping", "--socket", str(tmp_path / "no.sock")]
+            )

@@ -62,7 +62,8 @@ def test_determinism_seeded_and_sorted_forms_pass():
 
 
 def test_determinism_subsystem_scoping(tmp_path):
-    # The same wall-clock read outside sim/core/cluster/trace is legal.
+    # The same wall-clock read outside sim/core/cluster/trace/serve is
+    # legal.
     src = "import time\n\ndef f():\n    return time.perf_counter()\n"
     (tmp_path / "analysis").mkdir()
     outside = tmp_path / "analysis" / "mod.py"
@@ -74,6 +75,38 @@ def test_determinism_subsystem_scoping(tmp_path):
     assert [(f.path, f.rule) for f in result.findings] == [
         ("core/mod.py", "DET001")
     ]
+
+
+def test_determinism_scope_includes_serve(tmp_path):
+    """The serve daemon is inside the deterministic scope (its payloads
+    carry a bit-identity oracle); only pragma'd lines are exempt."""
+    from repro.devtools.lint.checkers.determinism import DETERMINISTIC_DIRS
+
+    assert "serve" in DETERMINISTIC_DIRS
+    (tmp_path / "serve").mkdir()
+    flagged = tmp_path / "serve" / "mod.py"
+    flagged.write_text("import time\n\ndef f():\n    return time.monotonic()\n")
+    pragmad = tmp_path / "serve" / "ok.py"
+    pragmad.write_text(
+        "import time\n\ndef f():\n"
+        "    return time.monotonic()  # lint: disable=DET001\n"
+    )
+    result = run_lint(paths=[tmp_path], root=tmp_path, cache_path=None)
+    assert [(f.path, f.rule) for f in result.findings] == [
+        ("serve/mod.py", "DET001")
+    ]
+
+
+def test_repo_serve_wall_clock_is_pragmad_not_baselined():
+    """Satellite contract: every wall-clock read in src/repro/serve is
+    exempted by an inline pragma, never via the baseline file."""
+    serve_dir = REPO_ROOT / "src" / "repro" / "serve"
+    offenders = []
+    for path in sorted(serve_dir.glob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if "time.monotonic" in line and "disable=DET001" not in line:
+                offenders.append(f"{path.name}:{lineno}")
+    assert not offenders, offenders
 
 
 # ----------------------------------------------------------------------

@@ -187,3 +187,34 @@ class TestListJournals:
         from repro.exec.journal import list_journals
 
         assert list_journals(tmp_path / "nope") == []
+
+
+class TestJournalsInfo:
+    def test_absent_dir(self, tmp_path):
+        from repro.exec.journal import journals_info
+
+        info = journals_info(tmp_path / "nope")
+        assert info["journals"] == 0
+        assert info["bytes"] == 0
+        assert info["newest_key"] is None
+        assert info["dir"] == str(tmp_path / "nope")
+
+    def test_counts_sizes_and_newest(self, tmp_path):
+        import os
+
+        from repro.exec.journal import journals_info
+
+        old = SweepJournal.for_sweep("fig9", ("p",), tmp_path)
+        old.record("stream", 1)
+        new = SweepJournal.for_sweep("serve", ("q",), tmp_path)
+        new.record("kmeans", 2)
+        # Make mtime ordering unambiguous regardless of fs resolution.
+        past = old.path.stat().st_mtime - 10
+        os.utime(old.path, (past, past))
+        (tmp_path / "not-a-journal.txt").write_text("ignored")
+        info = journals_info(tmp_path)
+        assert info["journals"] == 2
+        assert info["bytes"] == (
+            old.path.stat().st_size + new.path.stat().st_size
+        )
+        assert info["newest_key"] == new.path.stem

@@ -1,0 +1,439 @@
+"""The warm-state simulation service (``repro.serve``, DESIGN.md §13).
+
+The contract under test, in order of importance:
+
+1. **Bit-identity** — every served payload equals a fresh direct run
+   of the same request (:func:`repro.serve.direct_payload`), however
+   warm the server is.
+2. **Exactly-once per content key** — duplicate in-flight requests
+   coalesce onto one simulation; with the journal enabled, repeats
+   across time (and across restarts) replay instead of recomputing.
+3. **Lifecycle honesty** — graceful drain answers everything accepted
+   before shutdown; deadlines reject the *wait*, never the work.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.serve import (
+    RequestError,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    Server,
+    ServerThread,
+    direct_payload,
+    normalize_request,
+    payloads_equal,
+    request_key,
+    wait_for_server,
+)
+from repro.serve.protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    decode_payload,
+    encode_message,
+)
+
+#: Cheap request used throughout: ~100 blocks, well under a second.
+KERNEL = "stream"
+SCALE = 0.02
+
+
+@pytest.fixture
+def serve_dir(tmp_path):
+    """Isolated cache root + socket path for one server."""
+    return tmp_path
+
+
+def start_server(tmp_path, **overrides) -> ServerThread:
+    config = ServeConfig(
+        socket_path=str(tmp_path / "serve.sock"),
+        cache_dir=str(tmp_path / "cache"),
+        **overrides,
+    )
+    handle = ServerThread.start(config)
+    wait_for_server(handle.socket_path)
+    return handle
+
+
+def sim_params(**extra) -> dict:
+    return {"kernel": KERNEL, "scale": SCALE, **extra}
+
+
+class TestProtocol:
+    def test_round_trip(self):
+        msg = {"id": 3, "kind": "ping", "params": {"x": [1, 2.5, "s"]}}
+        framed = encode_message(msg)
+        assert decode_payload(framed[4:]) == msg
+
+    def test_rejects_non_object_payload(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"[1, 2]")
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\xff\xfe")
+
+    def test_rejects_oversize_message(self):
+        big = {"blob": "x" * (MAX_MESSAGE_BYTES + 1)}
+        with pytest.raises(ProtocolError):
+            encode_message(big)
+
+
+class TestNormalization:
+    def test_defaults_filled(self):
+        norm = normalize_request("simulate", {"kernel": KERNEL})
+        assert norm["scale"] == 0.125
+        assert norm["seed"] == 2014
+        assert norm["launch"] == 0
+        assert norm["engine"] == "compact"
+        assert norm["mem_front_end"] == "fast"
+        assert norm["l2_shards"] == 1
+
+    def test_equivalent_requests_share_a_key(self):
+        a = normalize_request("simulate", {"kernel": KERNEL, "scale": 0.125})
+        b = normalize_request("simulate", {"kernel": KERNEL, "seed": 2014})
+        assert request_key(a) == request_key(b)
+
+    def test_every_parameter_shapes_the_key(self):
+        base = {"kernel": KERNEL}
+        variants = [
+            {},
+            {"scale": 0.25},
+            {"seed": 7},
+            {"launch": 1},
+            {"engine": "reference"},
+            {"mem_front_end": "reference"},
+            {"l2_shards": 2},
+        ]
+        keys = {
+            request_key(normalize_request("simulate", {**base, **v}))
+            for v in variants
+        }
+        keys.add(request_key(normalize_request("tbpoint", base)))
+        assert len(keys) == len(variants) + 1
+
+    def test_timeout_does_not_shape_the_key(self):
+        a = normalize_request("simulate", {"kernel": KERNEL, "timeout": 5})
+        b = normalize_request("simulate", {"kernel": KERNEL})
+        assert request_key(a) == request_key(b)
+
+    @pytest.mark.parametrize("params", [
+        {"kernel": "bogus"},
+        {"kernel": KERNEL, "scale": 0},
+        {"kernel": KERNEL, "scale": 2},
+        {"kernel": KERNEL, "launch": -1},
+        {"kernel": KERNEL, "engine": "quantum"},
+        {"kernel": KERNEL, "mem_front_end": "imaginary"},
+        {"kernel": KERNEL, "l2_shards": 3},
+        {"kernel": KERNEL, "surprise": 1},
+        {},
+    ])
+    def test_rejects_bad_requests(self, params):
+        with pytest.raises(RequestError):
+            normalize_request("simulate", params)
+
+    def test_rejects_launch_on_tbpoint(self):
+        with pytest.raises(RequestError):
+            normalize_request("tbpoint", {"kernel": KERNEL, "launch": 1})
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(RequestError):
+            normalize_request("banana", {"kernel": KERNEL})
+
+
+class TestBitIdentity:
+    def test_served_simulate_equals_direct(self, serve_dir):
+        with start_server(serve_dir) as handle:
+            with ServeClient(handle.socket_path) as client:
+                cold = client.simulate(KERNEL, scale=SCALE)
+                warm = client.simulate(KERNEL, scale=SCALE)
+        direct = direct_payload(normalize_request("simulate", sim_params()))
+        assert payloads_equal(cold, direct)
+        assert payloads_equal(warm, direct)
+        # Warm repeats are fully identical, regeneration count included.
+        assert cold == warm
+        # The enlarged resident window means zero re-synthesis even on
+        # the repeat pass over the same trace.
+        assert warm["block_regenerations"] == 0
+
+    def test_served_tbpoint_equals_direct(self, serve_dir):
+        with start_server(serve_dir) as handle:
+            with ServeClient(handle.socket_path) as client:
+                served = client.tbpoint(KERNEL, scale=SCALE)
+                again = client.tbpoint(KERNEL, scale=SCALE)
+        direct = direct_payload(normalize_request("tbpoint", sim_params()))
+        assert payloads_equal(served, direct)
+        assert served == again
+
+    def test_engine_variants_stay_distinct_and_identical(self, serve_dir):
+        with start_server(serve_dir) as handle:
+            with ServeClient(handle.socket_path) as client:
+                compact = client.simulate(KERNEL, scale=SCALE)
+                reference = client.simulate(
+                    KERNEL, scale=SCALE, engine="reference",
+                    mem_front_end="reference",
+                )
+        norm = normalize_request(
+            "simulate",
+            sim_params(engine="reference", mem_front_end="reference"),
+        )
+        assert payloads_equal(reference, direct_payload(norm))
+        # Same machine, different engines: equal timing via the engine
+        # parity contract, reached through two separate warm engines.
+        assert compact["wall_cycles"] == reference["wall_cycles"]
+
+
+class TestWarmState:
+    def test_engine_and_kernel_reuse_counters(self, serve_dir):
+        with start_server(serve_dir) as handle:
+            with ServeClient(handle.socket_path) as client:
+                for _ in range(3):
+                    client.simulate(KERNEL, scale=SCALE)
+                stats = client.stats()
+        c = stats["counters"]
+        assert c["sims_run"] == 3
+        assert c["engine_cold_acquisitions"] == 1
+        assert c["engine_warm_acquisitions"] == 2
+        assert c["kernels_built"] == 1
+        assert c["kernel_warm_hits"] == 2
+        assert c["block_regenerations"] == 0
+        assert stats["resident_kernels"] == [f"{KERNEL}@{SCALE:g}/2014"]
+        assert stats["idle_engines"] == 1
+
+    def test_profile_cache_tiers(self, serve_dir):
+        with start_server(serve_dir) as handle:
+            with ServeClient(handle.socket_path) as client:
+                client.tbpoint(KERNEL, scale=SCALE)
+                client.tbpoint(KERNEL, scale=SCALE, seed=7)
+                stats = client.stats()
+        c = stats["counters"]
+        # First estimate computes its profile; a different trace
+        # identity computes its own; nothing was on disk yet.
+        assert c["profile_computed"] == 2
+        assert stats["resident_profiles"] == 2
+
+    def test_shrunken_block_memo_regenerates(self, serve_dir):
+        # A deliberately tiny resident window shows the thrash the
+        # default (full-launch) window eliminates.
+        with start_server(serve_dir, block_memo=2) as handle:
+            with ServeClient(handle.socket_path) as client:
+                client.simulate(KERNEL, scale=SCALE)
+                warm = client.simulate(KERNEL, scale=SCALE)
+                stats = client.stats()
+        assert warm["block_regenerations"] > 0
+        assert stats["counters"]["block_regenerations"] > 0
+        direct = direct_payload(normalize_request("simulate", sim_params()))
+        assert payloads_equal(warm, direct)  # thrash never changes results
+
+
+class TestCoalescing:
+    def test_pipelined_duplicates_simulate_once(self, serve_dir):
+        with start_server(serve_dir) as handle:
+            with ServeClient(handle.socket_path) as client:
+                rids = [
+                    client.submit("simulate", sim_params()) for _ in range(10)
+                ]
+                payloads = [client.drain(rid) for rid in rids]
+                stats = client.stats()
+        assert all(p == payloads[0] for p in payloads)
+        c = stats["counters"]
+        assert c["sims_run"] == 1
+        assert c["coalesced_hits"] == 9
+
+    def test_distinct_requests_do_not_coalesce(self, serve_dir):
+        with start_server(serve_dir) as handle:
+            with ServeClient(handle.socket_path) as client:
+                a = client.submit("simulate", sim_params())
+                b = client.submit("simulate", sim_params(seed=7))
+                client.drain(a), client.drain(b)
+                stats = client.stats()
+        assert stats["counters"]["sims_run"] == 2
+        assert stats["counters"]["coalesced_hits"] == 0
+
+
+class TestConcurrentIdempotency:
+    def test_threaded_hammer_exactly_once_per_key(self, serve_dir):
+        """Satellite: duplicate + distinct requests from many threads;
+        with the journal on, each content key simulates exactly once,
+        every response for a key is bit-identical, and the drain is
+        clean with clients still connected."""
+        distinct = [sim_params(), sim_params(seed=7), sim_params(launch=0,
+                    l2_shards=2)]
+        threads_per_request = 4
+        repeats = 3
+        results: dict[int, list[dict]] = {i: [] for i in range(len(distinct))}
+        errors: list[Exception] = []
+        lock = threading.Lock()
+
+        with start_server(serve_dir, journal=True, max_concurrency=4) as handle:
+
+            def hammer(idx: int) -> None:
+                try:
+                    with ServeClient(handle.socket_path) as client:
+                        got = [
+                            client.call("simulate", distinct[idx])
+                            for _ in range(repeats)
+                        ]
+                    with lock:
+                        results[idx].extend(got)
+                except Exception as exc:  # surfaced after the join
+                    with lock:
+                        errors.append(exc)
+
+            workers = [
+                threading.Thread(target=hammer, args=(i,))
+                for i in range(len(distinct))
+                for _ in range(threads_per_request)
+            ]
+            for t in workers:
+                t.start()
+            for t in workers:
+                t.join(120)
+            with ServeClient(handle.socket_path) as client:
+                stats = client.stats()
+
+        assert not errors, errors
+        c = stats["counters"]
+        # Exactly one simulation per content key; every other answer
+        # came from coalescing or the journal.
+        assert c["sims_run"] == len(distinct)
+        answered = len(distinct) * threads_per_request * repeats
+        assert c["coalesced_hits"] + c["journal_hits"] == answered - c["sims_run"]
+        for idx, payloads in results.items():
+            assert len(payloads) == threads_per_request * repeats
+            assert all(p == payloads[0] for p in payloads)
+            direct = direct_payload(
+                normalize_request("simulate", distinct[idx])
+            )
+            assert payloads_equal(payloads[0], direct)
+
+
+class TestJournalReplay:
+    def test_results_survive_a_restart(self, serve_dir):
+        with start_server(serve_dir, journal=True) as handle:
+            with ServeClient(handle.socket_path) as client:
+                first = client.simulate(KERNEL, scale=SCALE)
+        with start_server(serve_dir, journal=True) as handle:
+            with ServeClient(handle.socket_path) as client:
+                replayed = client.simulate(KERNEL, scale=SCALE)
+                stats = client.stats()
+        assert replayed == first
+        assert stats["counters"]["journal_hits"] == 1
+        assert stats["counters"]["sims_run"] == 0
+
+    def test_no_journal_means_recompute(self, serve_dir):
+        with start_server(serve_dir) as handle:
+            with ServeClient(handle.socket_path) as client:
+                client.simulate(KERNEL, scale=SCALE)
+                client.simulate(KERNEL, scale=SCALE)
+                stats = client.stats()
+        assert stats["counters"]["sims_run"] == 2
+        assert stats["counters"]["journal_hits"] == 0
+
+
+class TestLifecycle:
+    def test_drain_answers_accepted_requests(self, serve_dir):
+        """Shutdown mid-queue: everything already accepted is answered
+        before the socket goes away."""
+        with start_server(serve_dir, max_concurrency=1) as handle:
+            client = ServeClient(handle.socket_path)
+            rids = [
+                client.submit("simulate", sim_params(seed=seed))
+                for seed in (1, 2, 3)
+            ]
+            with ServeClient(handle.socket_path) as other:
+                other.shutdown()
+            payloads = [client.drain(rid) for rid in rids]
+            client.close()
+        for seed, payload in zip((1, 2, 3), payloads):
+            direct = direct_payload(
+                normalize_request("simulate", sim_params(seed=seed))
+            )
+            assert payloads_equal(payload, direct)
+        # The unix socket is gone after the drain.
+        assert not (serve_dir / "serve.sock").exists()
+
+    def test_requests_after_shutdown_are_rejected(self, serve_dir):
+        with start_server(serve_dir, max_concurrency=1) as handle:
+            client = ServeClient(handle.socket_path)
+            # Queue enough work that the drain is still in progress
+            # when the post-shutdown request arrives.
+            rids = [
+                client.submit("simulate", sim_params(seed=seed))
+                for seed in (1, 2, 3)
+            ]
+            client.shutdown()
+            with pytest.raises(ServeError, match="draining"):
+                client.simulate(KERNEL, scale=SCALE, seed=99)
+            for rid in rids:
+                client.drain(rid)  # accepted work still answered
+            client.close()
+
+    def test_deadline_miss_rejects_the_wait_not_the_work(self, serve_dir):
+        with start_server(serve_dir, journal=True, max_concurrency=1) as handle:
+            with ServeClient(handle.socket_path) as client:
+                # Occupy the only slot, then ask for the impossible.
+                first = client.submit("simulate", sim_params())
+                with pytest.raises(ServeError, match="deadline"):
+                    client.call(
+                        "simulate", sim_params(seed=9, timeout=1e-4)
+                    )
+                client.drain(first)
+                # The timed-out simulation still ran to completion and
+                # journaled; asking again returns it.
+                payload = client.simulate(KERNEL, scale=SCALE, seed=9)
+                stats = client.stats()
+        assert stats["counters"]["deadline_misses"] == 1
+        direct = direct_payload(
+            normalize_request("simulate", sim_params(seed=9))
+        )
+        assert payloads_equal(payload, direct)
+
+    def test_metrics_json_written_on_shutdown(self, serve_dir):
+        import json
+
+        metrics = serve_dir / "metrics.json"
+        with start_server(serve_dir, metrics_json=str(metrics)) as handle:
+            with ServeClient(handle.socket_path) as client:
+                client.simulate(KERNEL, scale=SCALE)
+                client.shutdown()
+        handle.stop()
+        payload = json.loads(metrics.read_text())
+        assert payload["counters"]["sims_run"] == 1
+        assert payload["counters"]["requests_total"] >= 2
+
+    def test_tcp_transport(self, serve_dir):
+        config_overrides = {"host": "127.0.0.1", "port": 0}
+        with start_tcp_server(serve_dir, **config_overrides) as handle:
+            host, port = handle.address
+            wait_for_server(host=host, port=port)
+            with ServeClient(host=host, port=port) as client:
+                assert client.ping()["protocol"] == 1
+                payload = client.simulate(KERNEL, scale=SCALE)
+        direct = direct_payload(normalize_request("simulate", sim_params()))
+        assert payloads_equal(payload, direct)
+
+    def test_malformed_request_keeps_server_alive(self, serve_dir):
+        with start_server(serve_dir) as handle:
+            with ServeClient(handle.socket_path) as client:
+                with pytest.raises(ServeError, match="unknown"):
+                    client.call("simulate", {"kernel": "bogus"})
+                assert client.ping()["protocol"] == 1
+
+    def test_garbage_frame_drops_connection_not_server(self, serve_dir):
+        with start_server(serve_dir) as handle:
+            raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            raw.connect(handle.socket_path)
+            raw.sendall(b"\xff\xff\xff\xff garbage")
+            raw.close()
+            with ServeClient(handle.socket_path) as client:
+                assert client.ping()["protocol"] == 1
+
+
+def start_tcp_server(tmp_path, **overrides) -> ServerThread:
+    config = ServeConfig(cache_dir=str(tmp_path / "cache"), **overrides)
+    return ServerThread.start(config)

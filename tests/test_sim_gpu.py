@@ -79,6 +79,38 @@ class TestBasicExecution:
         assert sim.run_launch(lean).machine_ipc > sim.run_launch(heavy).machine_ipc
 
 
+class TestBlockRegenerationCounter:
+    def test_cold_run_counts_zero(self, small_gpu):
+        kernel = make_uniform_kernel(num_launches=1, blocks_per_launch=48)
+        launch = kernel.launches[0]
+        launch.resize_block_memo(4)
+        result = GPUSimulator(small_gpu).run_launch(launch)
+        assert result.counters is not None
+        assert result.counters.block_regenerations == 0
+
+    def test_repeat_run_thrashes_small_window(self, small_gpu):
+        kernel = make_uniform_kernel(num_launches=1, blocks_per_launch=48)
+        launch = kernel.launches[0]
+        launch.resize_block_memo(4)
+        sim = GPUSimulator(small_gpu)
+        cold = sim.run_launch(launch)
+        warm = sim.run_launch(launch)
+        # Pass 2 finds every block evicted: the re-simulation thrash a
+        # warm server avoids by resizing the window to the launch.
+        assert warm.counters.block_regenerations == launch.num_blocks
+        assert warm.wall_cycles == cold.wall_cycles  # pure perf knob
+
+    def test_full_window_eliminates_regenerations(self, small_gpu):
+        kernel = make_uniform_kernel(num_launches=1, blocks_per_launch=48)
+        launch = kernel.launches[0]
+        launch.resize_block_memo(launch.num_blocks)
+        sim = GPUSimulator(small_gpu)
+        cold = sim.run_launch(launch)
+        warm = sim.run_launch(launch)
+        assert warm.counters.block_regenerations == 0
+        assert warm.wall_cycles == cold.wall_cycles
+
+
 class TestSamplerHooks:
     def test_null_sampler_equals_no_sampler(self, small_gpu):
         kernel = make_uniform_kernel(num_launches=1)

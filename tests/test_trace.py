@@ -178,6 +178,103 @@ class TestLaunchTrace:
             LaunchTrace("k", 0, 0, 1, lambda t: None, 1)
 
 
+def _picklable_factory(tb_id):
+    return BlockTrace(tb_id, [make_warp()])
+
+
+class TestBlockMemo:
+    def _launch(self, n=10, memo=None):
+        return LaunchTrace(
+            "k", 0, n, 1,
+            lambda tb_id: BlockTrace(tb_id, [make_warp()]), 1,
+            block_memo=memo,
+        )
+
+    def test_default_window(self):
+        assert self._launch().block_memo == 256
+
+    def test_constructor_window(self):
+        assert self._launch(memo=4).block_memo == 4
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            self._launch(memo=0)
+        with pytest.raises(ValueError):
+            self._launch(memo=-1)
+        with pytest.raises(ValueError):
+            self._launch().resize_block_memo(0)
+
+    def test_first_pass_never_counts_regenerations(self):
+        launch = self._launch(n=10, memo=3)
+        for b in launch.iter_blocks():
+            pass
+        assert launch.regenerations == 0
+
+    def test_second_pass_regenerates_through_small_window(self):
+        launch = self._launch(n=10, memo=3)
+        for _ in range(2):
+            for b in launch.iter_blocks():
+                pass
+        # Pass 2 walks 0..9 again; with a 3-wide window every block has
+        # been evicted by the time it comes around.
+        assert launch.regenerations == 10
+
+    def test_full_window_eliminates_regenerations(self):
+        launch = self._launch(n=10, memo=10)
+        for _ in range(3):
+            for b in launch.iter_blocks():
+                pass
+        assert launch.regenerations == 0
+
+    def test_resize_grows_window(self):
+        launch = self._launch(n=10, memo=3)
+        for b in launch.iter_blocks():
+            pass
+        launch.resize_block_memo(10)
+        assert launch.block_memo == 10
+        for _ in range(2):
+            for b in launch.iter_blocks():
+                pass
+        # Only the first re-walk regenerates (warming the larger
+        # window: blocks 0-6 were evicted, 7-9 survived); once
+        # resident, further passes are free.
+        assert launch.regenerations == 7
+
+    def test_resize_shrink_evicts_immediately(self):
+        launch = self._launch(n=10, memo=10)
+        blocks = list(launch.iter_blocks())
+        launch.resize_block_memo(2)
+        assert len(launch._cache) == 2
+        # The two most recently used (8, 9) survive the shrink.
+        assert launch.block(9) is blocks[9]
+        assert launch.block(0) is not blocks[0]
+        assert launch.regenerations == 1
+
+    def test_memo_window_is_pure_perf_knob(self):
+        wide = self._launch(n=8, memo=8)
+        narrow = self._launch(n=8, memo=1)
+        for _ in range(2):
+            for a, b in zip(wide.iter_blocks(), narrow.iter_blocks()):
+                assert a.tb_id == b.tb_id
+                np.testing.assert_array_equal(a.warps[0].op, b.warps[0].op)
+                np.testing.assert_array_equal(a.warps[0].addr, b.warps[0].addr)
+
+    def test_pickle_resets_bookkeeping_keeps_window(self):
+        import pickle
+
+        launch = LaunchTrace("k", 0, 6, 1, _picklable_factory, 1, block_memo=2)
+        for _ in range(2):
+            for b in launch.iter_blocks():
+                pass
+        assert launch.regenerations > 0
+        clone = pickle.loads(pickle.dumps(launch))
+        assert clone.block_memo == 2
+        assert clone.regenerations == 0
+        for b in clone.iter_blocks():
+            pass
+        assert clone.regenerations == 0  # fresh bitmap: first pass
+
+
 class TestKernelTrace:
     def test_counts(self):
         launches = [
