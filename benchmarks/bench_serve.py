@@ -19,6 +19,11 @@ Measures what ``repro serve`` exists for and records it to
 * **sustained throughput** — ≥4 concurrent client threads driving
   distinct warm requests; requests/sec plus the sims-run counter so
   coalescing can't inflate the number.
+* **worker-pool throughput** — the same concurrent drive against
+  supervised pools of 1, 2 and 4 worker processes (``--workers``,
+  DESIGN.md §14), reported next to the thread path. No speedup is
+  gated: on a single-core host the honest numbers show no scaling,
+  and the pool's value there is crash isolation, not parallelism.
 
 Every served payload in this bench is asserted bit-identical to a
 fresh direct run (:func:`repro.serve.direct_payload`) before any
@@ -160,45 +165,52 @@ def _bench_kernel(kernel: str, scale: float, tmp_path: Path) -> dict:
     }
 
 
-def _bench_throughput(tmp_path: Path) -> dict:
+def _drive_concurrent(handle: ServerThread) -> tuple[float, dict]:
     """CLIENTS concurrent threads, each driving its own seed stream of
     warm re-simulations (distinct content keys across clients, so
-    coalescing and the journal cannot answer for the simulator)."""
+    coalescing and the journal cannot answer for the simulator).
+    Returns (elapsed seconds, final stats payload)."""
     per_client = max(3, REPEATS)
     errors: list[Exception] = []
-    with _start(tmp_path, "throughput", max_concurrency=CLIENTS) as handle:
-        # Pre-warm: one request per client seed builds trace + engine.
-        with ServeClient(handle.socket_path) as client:
-            for i in range(CLIENTS):
-                client.call("simulate", {
-                    "kernel": THROUGHPUT_KERNEL, "scale": SCALE,
-                    "seed": 100 + i,
-                })
+    # Pre-warm: one request per client seed builds trace + engine.
+    with ServeClient(handle.socket_path) as client:
+        for i in range(CLIENTS):
+            client.call("simulate", {
+                "kernel": THROUGHPUT_KERNEL, "scale": SCALE,
+                "seed": 100 + i,
+            })
 
-        def drive(idx: int) -> None:
-            try:
-                with ServeClient(handle.socket_path) as client:
-                    for _ in range(per_client):
-                        client.call("simulate", {
-                            "kernel": THROUGHPUT_KERNEL, "scale": SCALE,
-                            "seed": 100 + idx,
-                        })
-            except Exception as exc:
-                errors.append(exc)
+    def drive(idx: int) -> None:
+        try:
+            with ServeClient(handle.socket_path) as client:
+                for _ in range(per_client):
+                    client.call("simulate", {
+                        "kernel": THROUGHPUT_KERNEL, "scale": SCALE,
+                        "seed": 100 + idx,
+                    })
+        except Exception as exc:
+            errors.append(exc)
 
-        threads = [
-            threading.Thread(target=drive, args=(i,)) for i in range(CLIENTS)
-        ]
-        t0 = time.perf_counter()
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        elapsed = time.perf_counter() - t0
-        with ServeClient(handle.socket_path) as client:
-            stats = client.stats()
+    threads = [
+        threading.Thread(target=drive, args=(i,)) for i in range(CLIENTS)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    with ServeClient(handle.socket_path) as client:
+        stats = client.stats()
     assert not errors, errors
+    return elapsed, stats
+
+
+def _bench_throughput(tmp_path: Path) -> dict:
+    per_client = max(3, REPEATS)
     total = CLIENTS * per_client
+    with _start(tmp_path, "throughput", max_concurrency=CLIENTS) as handle:
+        elapsed, stats = _drive_concurrent(handle)
     c = stats["counters"]
     # Distinct keys per client: every request really simulated.
     assert c["sims_run"] >= total
@@ -216,15 +228,53 @@ def _bench_throughput(tmp_path: Path) -> dict:
     }
 
 
+def _bench_worker_throughput(tmp_path: Path) -> list[dict]:
+    """The same concurrent drive against supervised worker pools of 1,
+    2 and 4 processes (PR 9): where the thread path serializes the hot
+    loop under the GIL, workers scale with cores — reported honestly,
+    including on hosts where there are no extra cores to scale onto."""
+    per_client = max(3, REPEATS)
+    total = CLIENTS * per_client
+    rows = []
+    for workers in (1, 2, 4):
+        with _start(
+            tmp_path,
+            f"workers{workers}",
+            workers=workers,
+            max_concurrency=CLIENTS,
+            max_backlog=4 * CLIENTS,
+        ) as handle:
+            elapsed, stats = _drive_concurrent(handle)
+        c = stats["counters"]
+        w = stats["workers"]
+        assert c["sims_run"] >= total
+        assert not w["degraded"]
+        assert w["crashes"] == 0 and w["hangs"] == 0
+        rows.append({
+            "workers": workers,
+            "clients": CLIENTS,
+            "requests": total,
+            "elapsed_seconds": round(elapsed, 4),
+            "requests_per_second": round(total / elapsed, 2),
+            "sims_run": c["sims_run"],
+            "shed_requests": c["shed_requests"],
+            "worker_queue_p90_ms": w.get("queue_wait_p90_ms", 0.0),
+            "avg_job_ms": w.get("avg_job_ms", 0.0),
+        })
+    return rows
+
+
 def test_serve_warm_vs_cold(tmp_path):
     kernels = [_bench_kernel(k, SCALE, tmp_path) for k in KERNELS]
     throughput = _bench_throughput(tmp_path)
+    workers_throughput = _bench_worker_throughput(tmp_path)
     record = {
         "scale": SCALE,
         "repeats": REPEATS,
         "cpus": os.cpu_count(),
         "kernels": kernels,
         "throughput": throughput,
+        "workers_throughput": workers_throughput,
     }
     OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
     emit(render_table(
@@ -246,6 +296,20 @@ def test_serve_warm_vs_cold(tmp_path):
         [(k, str(v)) for k, v in throughput.items()],
         title=f"Sustained throughput ({CLIENTS} concurrent clients)",
     ))
+    emit(render_table(
+        ["path", "req/s", "elapsed (s)", "shed", "queue p90 (ms)"],
+        [("threads", f"{throughput['requests_per_second']:.2f}",
+          f"{throughput['elapsed_seconds']:.2f}", "0",
+          f"{throughput['queue_p90_ms']:.1f}")] + [
+            (f"workers={r['workers']}",
+             f"{r['requests_per_second']:.2f}",
+             f"{r['elapsed_seconds']:.2f}",
+             str(r["shed_requests"]),
+             f"{r['worker_queue_p90_ms']:.1f}")
+            for r in workers_throughput
+        ],
+        title=f"Thread path vs worker pool ({CLIENTS} concurrent clients)",
+    ))
 
     # Acceptance gates -------------------------------------------------
     assert len(kernels) >= 2
@@ -258,6 +322,11 @@ def test_serve_warm_vs_cold(tmp_path):
         assert r["warm_resim_seconds"] < r["cold_process_seconds"], r
     assert throughput["requests_per_second"] > 0
     assert throughput["sims_run"] >= throughput["requests"]
+    # Worker pools must answer everything correctly; no speedup gate —
+    # on a single-core host the honest numbers show no scaling.
+    for r in workers_throughput:
+        assert r["requests_per_second"] > 0
+        assert r["sims_run"] >= r["requests"]
 
 
 def test_serve_smoke(tmp_path):

@@ -392,12 +392,25 @@ def _simulate_sm_groups_cmd(args, launch, gpu, simulate_sm_groups) -> None:
 
 def cmd_serve(args: argparse.Namespace) -> None:
     """``repro serve``: run the warm-state simulation daemon until a
-    ``shutdown`` request drains it (DESIGN.md §13)."""
+    ``shutdown`` request, SIGTERM or SIGINT drains it (DESIGN.md
+    §13–14)."""
     import asyncio
+    import json
     import os
+    from pathlib import Path
 
     from repro.serve import ServeConfig, Server
 
+    fault_plan = None
+    if args.fault_plan:
+        from repro.exec.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_dict(
+                json.loads(Path(args.fault_plan).read_text())
+            )
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise SystemExit(f"cannot load --fault-plan: {exc}") from exc
     try:
         config = ServeConfig(
             socket_path=args.socket,
@@ -408,6 +421,13 @@ def cmd_serve(args: argparse.Namespace) -> None:
             journal=args.journal,
             cache_dir=args.cache_dir,
             metrics_json=args.metrics_json,
+            workers=args.workers,
+            worker_retries=args.retries,
+            hang_timeout=args.hang_timeout,
+            max_backlog=args.max_backlog,
+            degrade_after=args.degrade_after,
+            fault_plan=fault_plan,
+            mp_context=args.mp_context,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
@@ -420,21 +440,32 @@ def cmd_serve(args: argparse.Namespace) -> None:
             where = f"{host}:{port}"
         else:
             where = server.socket_path
-        print(f"serving on {where} (pid {os.getpid()}); "
-              "send a 'shutdown' request to drain and exit", flush=True)
+        pool = (
+            f"{config.workers} supervised worker(s)"
+            if config.workers else "in-process threads"
+        )
+        print(f"serving on {where} (pid {os.getpid()}, {pool}); "
+              "'shutdown' request, SIGTERM or SIGINT drains and exits",
+              flush=True)
         await server.serve_until_stopped()
 
     try:
         asyncio.run(body())
     except KeyboardInterrupt:
-        pass  # Ctrl-C skips the drain; 'repro request shutdown' drains.
+        pass  # fallback when signal handlers can't be installed
     except OSError as exc:
         raise SystemExit(f"cannot listen: {exc}") from exc
 
 
 def cmd_request(args: argparse.Namespace) -> None:
     """``repro request``: one request against a running daemon; prints
-    the JSON result payload (identical to what the server computed)."""
+    the JSON result payload (identical to what the server computed).
+
+    Error payloads from the daemon exit with status 2 and print a
+    structured JSON error object to stderr (``error`` plus
+    ``error_kind``/``retry_after`` when the server classified it) —
+    stdout carries result payloads only, so scripts can never mistake
+    a refusal for a result."""
     import json
 
     from repro.serve import ServeClient, ServeError, default_socket_path
@@ -469,7 +500,16 @@ def cmd_request(args: argparse.Namespace) -> None:
         with ServeClient(**target) as client:
             result = client.call(args.kind, params)
     except (ServeError, OSError) as exc:
-        raise SystemExit(f"request failed: {exc}") from exc
+        error = {"error": str(exc)}
+        if isinstance(exc, ServeError):
+            if exc.kind is not None:
+                error["error_kind"] = exc.kind
+            if exc.retry_after is not None:
+                error["retry_after"] = exc.retry_after
+        else:
+            error["error"] = f"connection failed: {exc}"
+        print(json.dumps(error, indent=2, sort_keys=True), file=sys.stderr)
+        raise SystemExit(2) from exc
     print(json.dumps(result, indent=2, sort_keys=True))
 
 
@@ -663,6 +703,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--metrics-json", default=None, metavar="PATH",
         help="dump the final stats payload to this file on shutdown",
+    )
+    p.add_argument(
+        "--workers", type=_nonnegative_int, default=0, metavar="N",
+        help="supervised worker processes for compute (default 0 = "
+             "in-process threads); crashed or hung workers are "
+             "respawned and their requests retried (DESIGN.md §14)",
+    )
+    p.add_argument(
+        "--retries", type=_nonnegative_int, default=2, metavar="N",
+        help="extra worker attempts per request after a crash/hang "
+             "before falling back to in-process compute (default 2)",
+    )
+    p.add_argument(
+        "--hang-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill a busy worker that goes this long without a "
+             "heartbeat and retry its request (default: disabled)",
+    )
+    p.add_argument(
+        "--max-backlog", type=_nonnegative_int, default=32, metavar="N",
+        help="bound on requests queued + in flight across the worker "
+             "pool; past it requests are shed with an 'overloaded' "
+             "error carrying a retry-after hint (default 32; "
+             "0 = unbounded)",
+    )
+    p.add_argument(
+        "--degrade-after", type=int, default=4, metavar="N",
+        help="consecutive worker respawns that flip the daemon into "
+             "degraded in-process mode (default 4)",
+    )
+    p.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="JSON FaultPlan injected into workers (chaos tests/CI "
+             "only; see repro.exec.faults)",
+    )
+    p.add_argument(
+        "--mp-context", default=None, choices=["fork", "spawn", "forkserver"],
+        help="multiprocessing start method for workers "
+             "(default: platform default)",
     )
 
     p = sub.add_parser(

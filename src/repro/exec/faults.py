@@ -143,8 +143,62 @@ class FaultPlan:
                 continue
 
     # ------------------------------------------------------------------
+    # JSON form (PR 9): the serve-level chaos harness hands plans to a
+    # real daemon process via ``repro serve --fault-plan plan.json``, so
+    # a plan must survive a JSON round trip, not just a pickle one.
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-native form; exact inverse of :meth:`from_dict`."""
+        return {
+            "faults": [
+                {
+                    "kind": f.kind,
+                    "index": f.index,
+                    "attempt": f.attempt,
+                    "duration": f.duration,
+                }
+                for f in self.faults
+            ],
+            "seed": self.seed,
+            "cache_dir": self.cache_dir,
+            "parent_pid": self.parent_pid,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`as_dict` output.  ``parent_pid``
+        is preserved verbatim: the process that *built* the plan is the
+        one its ``CRASH`` faults must never kill, even when the plan
+        crossed a JSON file into a daemon on the way to its workers."""
+        faults = tuple(
+            Fault(
+                kind=f["kind"],
+                index=f["index"],
+                attempt=f.get("attempt", 0),
+                duration=f.get("duration", 0.0),
+            )
+            for f in data.get("faults", ())
+        )
+        return cls(
+            faults=faults,
+            seed=data.get("seed", 0),
+            cache_dir=data.get("cache_dir"),
+            parent_pid=data.get("parent_pid", os.getpid()),
+        )
+
+    # ------------------------------------------------------------------
     # Introspection used by the engine and tests
     # ------------------------------------------------------------------
+    def fires(self, index: int, attempt: int) -> tuple[Fault, ...]:
+        """The faults scripted for one ``(index, attempt)`` coordinate,
+        in firing order — lets a supervisor reason about a plan (e.g.
+        "is this attempt scripted to hang?") without triggering it."""
+        return tuple(
+            f
+            for f in self.faults
+            if f.index == index and f.attempt == attempt
+        )
+
     def crash_attempts(self, index: int) -> tuple[int, ...]:
         """The attempts at which task ``index`` is scripted to kill its
         worker (sorted)."""

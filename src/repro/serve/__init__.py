@@ -6,13 +6,23 @@ block-memo windows, in-memory profile mirror, optional journal-backed
 idempotent replay — and amortizes process cold-start across requests.
 Clients (:mod:`repro.serve.client`) speak a length-prefixed JSON
 protocol (:mod:`repro.serve.protocol`); request semantics and the
-bit-identity oracle live in :mod:`repro.serve.payloads`.
+bit-identity oracle live in :mod:`repro.serve.payloads`.  With
+``--workers N`` compute runs on a supervised pool of crash-isolated
+worker processes (:mod:`repro.serve.supervisor`, PR 9) sharing the
+job body in :mod:`repro.serve.jobs`.
 
-DESIGN.md §13 documents the architecture and the measured warm/cold
-latency; ``benchmarks/bench_serve.py`` produces ``BENCH_serve.json``.
+DESIGN.md §13–14 document the architecture, the measured warm/cold
+latency and the supervision contract; ``benchmarks/bench_serve.py``
+produces ``BENCH_serve.json``.
 """
 
-from repro.serve.client import ServeClient, ServeError, wait_for_server
+from repro.serve.client import (
+    ServeClient,
+    ServeConnectionError,
+    ServeError,
+    wait_for_server,
+)
+from repro.serve.jobs import JobMeta, JobRunner
 from repro.serve.payloads import (
     RESULTS_VERSION,
     RequestError,
@@ -30,18 +40,33 @@ from repro.serve.server import (
     default_socket_path,
     run_server,
 )
+from repro.serve.supervisor import (
+    Overloaded,
+    SupervisorConfig,
+    WorkerJobFailed,
+    WorkerSupervisor,
+    WorkersUnavailable,
+)
 
 __all__ = [
+    "JobMeta",
+    "JobRunner",
+    "Overloaded",
     "PROTOCOL_VERSION",
     "RESULTS_VERSION",
     "ProtocolError",
     "RequestError",
     "ServeClient",
     "ServeConfig",
+    "ServeConnectionError",
     "ServeCounters",
     "ServeError",
     "Server",
     "ServerThread",
+    "SupervisorConfig",
+    "WorkerJobFailed",
+    "WorkerSupervisor",
+    "WorkersUnavailable",
     "default_socket_path",
     "direct_payload",
     "normalize_request",

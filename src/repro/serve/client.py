@@ -7,9 +7,16 @@ responses by tag, so a single connection can also be driven in
 pipelined mode (:meth:`submit` then :meth:`drain`) — the pattern the
 coalescing tests and the sustained-throughput bench use.
 
-The client is deliberately dumb: no retries, no reconnects, no local
-caching.  Warmth lives in the server; a client that silently cached
-would undermine the bit-identity story the serve tests enforce.
+The client keeps no local caching — warmth lives in the server; a
+client that silently cached would undermine the bit-identity story the
+serve tests enforce.  It does, however, survive one transport failure
+per call (PR 9): requests are idempotent under the server's content
+keys (duplicates coalesce in flight and replay from the journal), so
+when the connection drops mid-request :meth:`call` reconnects and
+resends exactly once, counting each recovery in :attr:`reconnects`.
+Pipelined use (:meth:`submit`/:meth:`drain`) never auto-retries — a
+drop there loses the whole in-flight window, which the caller must
+replay itself.
 """
 
 from __future__ import annotations
@@ -22,7 +29,28 @@ from repro.serve.protocol import ProtocolError, recv_message, send_message
 
 class ServeError(RuntimeError):
     """The server answered ``ok=false`` (the request's fault) or the
-    conversation broke (connection/protocol trouble)."""
+    conversation broke (connection/protocol trouble).
+
+    ``kind`` / ``retry_after`` mirror the response's machine-readable
+    ``error_kind`` / ``retry_after`` fields when the server sent them
+    (e.g. kind ``"overloaded"`` with a back-off hint in seconds).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str | None = None,
+        retry_after: float | None = None,
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.retry_after = retry_after
+
+
+class ServeConnectionError(ServeError, ConnectionError):
+    """The transport failed before a response arrived (send error,
+    receive error, or the server hung up mid-conversation) — the one
+    failure class :meth:`ServeClient.call` retries after reconnecting."""
 
 
 class ServeClient:
@@ -39,6 +67,7 @@ class ServeClient:
         host: str | None = None,
         port: int | None = None,
         connect_timeout: float = 10.0,
+        retry_connect: bool = True,
     ):
         if (socket_path is None) == (host is None):
             raise ValueError("pass exactly one of socket_path or (host, port)")
@@ -48,6 +77,10 @@ class ServeClient:
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
+        #: Reconnect + resend once per :meth:`call` on transport failure.
+        self.retry_connect = retry_connect
+        #: Transport failures recovered by reconnecting (tests read this).
+        self.reconnects = 0
         self._sock: socket.socket | None = None
         self._next_id = 0
         #: Responses received while waiting for a different id (pipelined
@@ -99,7 +132,7 @@ class ServeClient:
             send_message(self._connect(), msg)
         except OSError as exc:
             self.close()
-            raise ServeError(f"send failed: {exc}") from exc
+            raise ServeConnectionError(f"send failed: {exc}") from exc
         return rid
 
     def drain(self, rid: int) -> dict:
@@ -112,25 +145,41 @@ class ServeClient:
             while True:
                 try:
                     response = recv_message(sock)
-                except (ProtocolError, OSError) as exc:
+                except ProtocolError as exc:
                     self.close()
                     raise ServeError(f"receive failed: {exc}") from exc
+                except OSError as exc:
+                    self.close()
+                    raise ServeConnectionError(f"receive failed: {exc}") from exc
                 if response is None:
                     self.close()
-                    raise ServeError(
+                    raise ServeConnectionError(
                         "server closed the connection before answering"
                     )
                 if response.get("id") == rid:
                     break
                 self._stash[response.get("id")] = response
         if not response.get("ok"):
-            raise ServeError(str(response.get("error", "unknown server error")))
+            raise ServeError(
+                str(response.get("error", "unknown server error")),
+                kind=response.get("error_kind"),
+                retry_after=response.get("retry_after"),
+            )
         result = response.get("result")
         return result if isinstance(result, dict) else {}
 
     def call(self, kind: str, params: dict | None = None) -> dict:
-        """One synchronous round trip."""
-        return self.drain(self.submit(kind, params))
+        """One synchronous round trip.  On a transport failure
+        (:class:`ServeConnectionError`) the client reconnects and
+        resends exactly once — safe because compute requests are
+        idempotent under the server's content keys."""
+        try:
+            return self.drain(self.submit(kind, params))
+        except ServeConnectionError:
+            if not self.retry_connect:
+                raise
+            self.reconnects += 1
+            return self.drain(self.submit(kind, params))
 
     # ------------------------------------------------------------------
     # Request kinds
@@ -177,4 +226,9 @@ def wait_for_server(
     raise ServeError(f"no server answered within {timeout:g}s: {last!r}")
 
 
-__all__ = ["ServeClient", "ServeError", "wait_for_server"]
+__all__ = [
+    "ServeClient",
+    "ServeConnectionError",
+    "ServeError",
+    "wait_for_server",
+]

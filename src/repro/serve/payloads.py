@@ -49,7 +49,26 @@ COMPUTE_KINDS = ("simulate", "tbpoint")
 
 class RequestError(ValueError):
     """A malformed or unsatisfiable request (client's fault, reported
-    in the error response; never tears down the server)."""
+    in the error response; never tears down the server).
+
+    ``kind`` optionally classifies the error machine-readably so
+    scripted clients can react without parsing prose: the server sets
+    ``"overloaded"`` (load shed; ``retry_after`` carries a back-off
+    hint in seconds), ``"draining"`` (shutdown in progress) and
+    ``"deadline"`` (queued past the request's own timeout).  Both
+    fields ride on the error response as ``error_kind`` /
+    ``retry_after`` next to the human-readable ``error`` string.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str | None = None,
+        retry_after: float | None = None,
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.retry_after = retry_after
 
 
 def _require(condition: bool, message: str) -> None:

@@ -68,6 +68,11 @@ def _decode_length(header: bytes) -> int:
     (length,) = _HEADER.unpack(header)
     if length > MAX_MESSAGE_BYTES:
         raise ProtocolError(f"message length {length} exceeds limit")
+    if length == 0:
+        # A message is always one JSON object; an empty frame is a
+        # framing bug (or a probe), named explicitly rather than
+        # surfacing as a confusing JSON decode error downstream.
+        raise ProtocolError("zero-length frame")
     return length
 
 

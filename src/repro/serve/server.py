@@ -49,25 +49,22 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import signal
 import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from repro.config import GPUConfig, SamplingConfig
-from repro.exec.cache import ProfileCache, kernel_cache_key
-from repro.exec.engine import ExecutionConfig
+from repro.exec.faults import FaultPlan
 from repro.exec.journal import SweepJournal, default_journal_dir
-from repro.profiler.functional import KernelProfile, profile_kernel
+from repro.serve.jobs import JobMeta, JobRunner, percentile
 from repro.serve.payloads import (
     RESULTS_VERSION,
     RequestError,
     normalize_request,
     request_key,
-    result_payload,
-    tbpoint_payload,
 )
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
@@ -75,10 +72,13 @@ from repro.serve.protocol import (
     read_message,
     write_message,
 )
-from repro.sim.gpu import GPUSimulator
-from repro.sim.worker import simulator_key
-from repro.trace import KernelTrace
-from repro.workloads import get_workload
+from repro.serve.supervisor import (
+    Overloaded,
+    SupervisorConfig,
+    WorkerJobFailed,
+    WorkerSupervisor,
+    WorkersUnavailable,
+)
 
 
 def default_socket_path(cache_dir: str | Path | None = None) -> str:
@@ -117,6 +117,29 @@ class ServeConfig:
         Dump the final ``stats`` payload to this file on shutdown.
     queue_latency_window:
         Most recent queue-wait samples kept for the percentile report.
+    workers:
+        Supervised worker processes for compute (PR 9).  0 (default)
+        keeps the PR 8 in-process thread path; with workers the thread
+        path remains the degraded-mode fallback.
+    worker_retries:
+        Extra worker attempts a job gets after a crash/hang/exception
+        before the daemon falls back to computing it in-process.
+    hang_timeout:
+        Seconds a busy worker may go without a heartbeat before it is
+        killed and its job retried (None disables hang detection).
+    max_backlog:
+        Bound on jobs queued + in flight across the worker pool; past
+        it requests are shed with a structured ``overloaded`` error
+        (0 = unbounded, no shedding).
+    degrade_after:
+        Consecutive worker respawns without a completed job that flip
+        the daemon into degraded (in-process) mode.
+    fault_plan:
+        Deterministic chaos script injected into workers (tests/CI
+        only; see :mod:`repro.exec.faults`).
+    mp_context:
+        ``multiprocessing`` start method for workers (None = platform
+        default chosen by the supervisor).
     """
 
     socket_path: str | None = None
@@ -128,12 +151,41 @@ class ServeConfig:
     cache_dir: str | None = None
     metrics_json: str | None = None
     queue_latency_window: int = 100_000
+    workers: int = 0
+    worker_retries: int = 2
+    hang_timeout: float | None = None
+    max_backlog: int = 32
+    degrade_after: int = 4
+    fault_plan: FaultPlan | None = None
+    mp_context: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_concurrency <= 0:
             raise ValueError("max_concurrency must be positive")
         if self.block_memo < 0:
             raise ValueError("block_memo must be >= 0 (0 = full launch)")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = in-process)")
+        if self.workers > 0:
+            # Fail fast on bad pool parameters, before a socket binds.
+            self.supervisor_config()
+
+    def supervisor_config(self) -> SupervisorConfig:
+        """The worker-pool view of this config (``workers > 0`` only)."""
+        kwargs: dict = {}
+        if self.mp_context is not None:
+            kwargs["mp_context"] = self.mp_context
+        return SupervisorConfig(
+            workers=self.workers,
+            retries=self.worker_retries,
+            hang_timeout=self.hang_timeout,
+            max_backlog=self.max_backlog,
+            degrade_after=self.degrade_after,
+            block_memo=self.block_memo,
+            cache_dir=self.cache_dir,
+            fault_plan=self.fault_plan,
+            **kwargs,
+        )
 
 
 @dataclass
@@ -169,27 +221,17 @@ class ServeCounters:
     deadline_misses: int = 0
     draining_rejections: int = 0
     max_queue_depth: int = 0
+    #: Supervision (PR 9): requests refused with ``overloaded`` because
+    #: the worker backlog was full.
+    shed_requests: int = 0
+    #: Requests computed in-process because the worker pool was
+    #: degraded (repeated respawns) at submit or mid-flight.
+    degraded_fallbacks: int = 0
+    #: Requests computed in-process after exhausting worker retries.
+    worker_exhausted_fallbacks: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
-
-
-@dataclass
-class _JobMeta:
-    """Executor-thread observations, applied to counters on the loop
-    (counters are only ever mutated on the event loop thread)."""
-
-    kind: str
-    engine_warm: bool = False
-    kernel_warm: bool = False
-    block_regenerations: int = 0
-    profile_source: str | None = None
-
-
-def _percentile(samples: list[float], q: float) -> float:
-    """Nearest-rank percentile of a non-empty sorted sample list."""
-    idx = min(len(samples) - 1, max(0, round(q * (len(samples) - 1))))
-    return samples[idx]
 
 
 class Server:
@@ -198,16 +240,13 @@ class Server:
     def __init__(self, config: ServeConfig | None = None):
         self.config = config or ServeConfig()
         self.counters = ServeCounters()
-        # Warm state --------------------------------------------------
-        self._idle_engines: dict[tuple, list[GPUSimulator]] = {}
-        self._engines_lock = threading.Lock()
-        self._engines_built: list[str] = []
-        self._kernels: dict[tuple, KernelTrace] = {}
-        self._kernel_locks: dict[tuple, threading.Lock] = {}
-        self._kernels_lock = threading.Lock()
-        self._profiles: dict[str, KernelProfile] = {}
-        self._profiles_lock = threading.Lock()
-        self._profile_cache = ProfileCache(self.config.cache_dir)
+        # Warm state for the in-process path (and degraded fallback);
+        # each worker process owns its own JobRunner.
+        self._runner = JobRunner(
+            block_memo=self.config.block_memo,
+            cache_dir=self.config.cache_dir,
+        )
+        self._supervisor: WorkerSupervisor | None = None
         # Idempotent replay (PR 4 journal machinery) ------------------
         self._journal: SweepJournal | None = None
         self._journal_results: dict[str, dict] = {}
@@ -235,6 +274,7 @@ class Server:
         self._sem: asyncio.Semaphore | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._stop: asyncio.Event | None = None
+        self._signals_installed: list[int] = []
         self._t0 = time.monotonic()  # uptime metric  # lint: disable=DET001
 
     # ------------------------------------------------------------------
@@ -266,6 +306,10 @@ class Server:
             max_workers=self.config.max_concurrency,
             thread_name_prefix="repro-serve",
         )
+        if self.config.workers > 0:
+            self._supervisor = WorkerSupervisor(self.config.supervisor_config())
+            self._supervisor.start()
+        self._install_signal_handlers()
         if self.config.host is not None:
             self._server = await asyncio.start_server(
                 self._on_connection, self.config.host, self.config.port
@@ -278,6 +322,20 @@ class Server:
             self._server = await asyncio.start_unix_server(
                 self._on_connection, path=str(path)
             )
+
+    def _install_signal_handlers(self) -> None:
+        """SIGTERM (container/systemd stop) and SIGINT both trigger the
+        graceful drain, so accepted requests are answered and
+        ``--metrics-json`` flushed.  Best-effort: a loop running off
+        the main thread (``ServerThread``) cannot own signals — there
+        the test harness calls :meth:`request_stop` directly."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_stop)
+            except (NotImplementedError, RuntimeError, ValueError):
+                continue
+            self._signals_installed.append(sig)
 
     def request_stop(self) -> None:
         """Begin graceful shutdown (idempotent, loop-thread only)."""
@@ -314,6 +372,17 @@ class Server:
             await asyncio.gather(*pending, return_exceptions=True)
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self._supervisor is not None:
+            # Workers are idle by now (pending drained above); stopping
+            # joins processes, so keep it off the event loop.
+            await asyncio.to_thread(self._supervisor.stop)
+        loop = asyncio.get_running_loop()
+        for sig in self._signals_installed:
+            try:
+                loop.remove_signal_handler(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+        self._signals_installed.clear()
         self._write_metrics()
         # Hang up on idle connections and reap their handler tasks so
         # nothing is left for loop teardown to cancel noisily.
@@ -411,6 +480,13 @@ class Server:
         except RequestError as exc:
             self.counters.errors += 1
             response = {"id": rid, "ok": False, "error": str(exc)}
+            # Additive, machine-readable error classification (PR 9):
+            # same protocol version, scripted clients can react to
+            # overloaded/draining/deadline without parsing prose.
+            if exc.kind is not None:
+                response["error_kind"] = exc.kind
+            if exc.retry_after is not None:
+                response["retry_after"] = exc.retry_after
         except Exception as exc:  # defensive: one bad request != a dead server
             self.counters.errors += 1
             response = {"id": rid, "ok": False, "error": f"internal error: {exc!r}"}
@@ -426,7 +502,9 @@ class Server:
             self.counters.tbpoint_requests += 1
         if self._draining:
             self.counters.draining_rejections += 1
-            raise RequestError("server draining; request rejected")
+            raise RequestError(
+                "server draining; request rejected", kind="draining"
+            )
         norm = normalize_request(kind, params)
         key = request_key(norm)
         timeout = params.get("timeout")
@@ -460,19 +538,72 @@ class Server:
             self.counters.deadline_misses += 1
             raise RequestError(
                 f"deadline exceeded after {timeout:g}s in queue "
-                "(the simulation still completes and warms the server)"
+                "(the simulation still completes and warms the server)",
+                kind="deadline",
             ) from None
         status, value = outcome
         if status == "ok":
             return value
-        raise RequestError(value)
+        raise value  # a RequestError (carries kind/retry_after)
 
     async def _compute(self, norm: dict, key: str, fut: asyncio.Future) -> None:
-        """Owner task for one content key: admit under the concurrency
-        limit, run in the thread pool, publish ``("ok", payload)`` /
-        ``("error", message)`` to every waiter.  Runs to completion even
-        if every requester's deadline lapsed — the result warms the
-        journal for the next asker."""
+        """Owner task for one content key: run the job on the worker
+        pool (or the in-process thread path), publish ``("ok",
+        payload)`` / ``("error", RequestError)`` to every waiter.  Runs
+        to completion even if every requester's deadline lapsed — the
+        result warms the journal for the next asker."""
+        try:
+            if self._supervisor is not None:
+                payload, meta = await self._compute_in_worker(norm)
+            else:
+                payload, meta = await self._compute_in_thread(norm)
+            self._apply_meta(meta)
+            if self._journal is not None:
+                self._journal.record(key, payload)
+                self._journal_results[key] = payload
+            outcome = ("ok", payload)
+        except RequestError as exc:
+            outcome = ("error", exc)
+        except Exception as exc:
+            outcome = ("error", RequestError(f"internal error: {exc!r}"))
+        finally:
+            self._inflight.pop(key, None)
+        if not fut.done():
+            fut.set_result(outcome)
+
+    async def _compute_in_worker(self, norm: dict) -> tuple[dict, JobMeta]:
+        """Run one job on the supervised pool.  Admission is the pool's
+        bounded backlog (shed past it — never unbounded queueing); a
+        degraded pool or an exhausted retry budget falls back to the
+        in-process path so the request is still answered.  Injected
+        faults only ever fire inside workers (the plan's parent-PID
+        guard), so the fallback attempt is always clean."""
+        assert self._supervisor is not None
+        try:
+            wfut = self._supervisor.submit(norm)
+        except Overloaded as exc:
+            self.counters.shed_requests += 1
+            raise RequestError(
+                str(exc), kind="overloaded", retry_after=exc.retry_after
+            ) from None
+        except WorkersUnavailable:
+            self.counters.degraded_fallbacks += 1
+            return await self._compute_in_thread(norm)
+        try:
+            payload, meta_dict = await asyncio.wrap_future(wfut)
+        except RequestError:
+            raise  # the request's own fault, same on any path
+        except WorkersUnavailable:
+            self.counters.degraded_fallbacks += 1
+            return await self._compute_in_thread(norm)
+        except WorkerJobFailed:
+            self.counters.worker_exhausted_fallbacks += 1
+            return await self._compute_in_thread(norm)
+        return payload, JobMeta(**meta_dict)
+
+    async def _compute_in_thread(self, norm: dict) -> tuple[dict, JobMeta]:
+        """The PR 8 in-process path: admit under the concurrency
+        semaphore, run on the daemon's thread pool."""
         assert self._sem is not None
         loop = asyncio.get_running_loop()
         t0 = time.monotonic()  # queue-latency metric  # lint: disable=DET001
@@ -487,26 +618,14 @@ class Server:
                 admitted = True
                 wait = time.monotonic() - t0  # lint: disable=DET001
                 self._queue_waits.append(wait)
-                payload, meta = await loop.run_in_executor(
-                    self._executor, _run_job, self, norm
+                return await loop.run_in_executor(
+                    self._executor, self._runner.run, norm
                 )
-            self._apply_meta(meta)
-            if self._journal is not None:
-                self._journal.record(key, payload)
-                self._journal_results[key] = payload
-            outcome = ("ok", payload)
-        except RequestError as exc:
-            outcome = ("error", str(exc))
-        except Exception as exc:
-            outcome = ("error", f"internal error: {exc!r}")
         finally:
             if not admitted:
                 self._queued -= 1
-            self._inflight.pop(key, None)
-        if not fut.done():
-            fut.set_result(outcome)
 
-    def _apply_meta(self, meta: _JobMeta) -> None:
+    def _apply_meta(self, meta: JobMeta) -> None:
         c = self.counters
         if meta.kind == "simulate":
             c.sims_run += 1
@@ -529,70 +648,6 @@ class Server:
             c.profile_computed += 1
 
     # ------------------------------------------------------------------
-    # Warm-state registries (called from executor threads)
-    # ------------------------------------------------------------------
-    def _get_kernel(self, norm: dict) -> tuple[KernelTrace, threading.Lock, bool]:
-        """The resident kernel trace for (kernel, scale, seed), its
-        serialization lock, and whether it was already warm."""
-        key = (norm["kernel"], norm["scale"], norm["seed"])
-        with self._kernels_lock:
-            kernel = self._kernels.get(key)
-            if kernel is not None:
-                return kernel, self._kernel_locks[key], True
-        # Build outside the registry lock: synthesis is pure, and a
-        # rare double build just loses the race below.
-        kernel = get_workload(norm["kernel"], scale=norm["scale"], seed=norm["seed"])
-        for launch in kernel.launches:
-            launch.resize_block_memo(
-                self.config.block_memo or launch.num_blocks
-            )
-        with self._kernels_lock:
-            existing = self._kernels.get(key)
-            if existing is not None:
-                return existing, self._kernel_locks[key], True
-            self._kernels[key] = kernel
-            lock = self._kernel_locks[key] = threading.Lock()
-        return kernel, lock, False
-
-    def _checkout_engine(self, norm: dict) -> tuple[GPUSimulator, bool]:
-        gpu = GPUConfig(l2_shards=norm["l2_shards"])
-        key = simulator_key(gpu, norm["engine"], norm["mem_front_end"])
-        with self._engines_lock:
-            idle = self._idle_engines.get(key)
-            if idle:
-                return idle.pop(), True
-        sim = GPUSimulator(
-            gpu, engine=norm["engine"], mem_front_end=norm["mem_front_end"]
-        )
-        with self._engines_lock:
-            self._engines_built.append(
-                f"{norm['engine']}/{norm['mem_front_end']}"
-                f"/l2_shards={norm['l2_shards']}"
-            )
-        return sim, False
-
-    def _checkin_engine(self, sim: GPUSimulator) -> None:
-        key = simulator_key(sim.config, sim.engine, sim.mem_front_end)
-        with self._engines_lock:
-            self._idle_engines.setdefault(key, []).append(sim)
-
-    def _get_profile(self, kernel: KernelTrace) -> tuple[KernelProfile, str]:
-        key = kernel_cache_key(kernel)
-        with self._profiles_lock:
-            prof = self._profiles.get(key)
-        if prof is not None:
-            return prof, "memory"
-        prof = self._profile_cache.get(key, kernel.name)
-        source = "disk"
-        if prof is None:
-            prof = profile_kernel(kernel)
-            self._profile_cache.put(key, prof)
-            source = "computed"
-        with self._profiles_lock:
-            self._profiles.setdefault(key, prof)
-        return prof, source
-
-    # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
     def stats_payload(self) -> dict:
@@ -603,20 +658,12 @@ class Server:
         }
         if waits:
             queue.update(
-                p50_ms=_percentile(waits, 0.50) * 1e3,
-                p90_ms=_percentile(waits, 0.90) * 1e3,
-                p99_ms=_percentile(waits, 0.99) * 1e3,
+                p50_ms=percentile(waits, 0.50) * 1e3,
+                p90_ms=percentile(waits, 0.90) * 1e3,
+                p99_ms=percentile(waits, 0.99) * 1e3,
                 max_ms=waits[-1] * 1e3,
             )
-        with self._engines_lock:
-            idle_engines = sum(len(v) for v in self._idle_engines.values())
-            engines_built = list(self._engines_built)
-        with self._kernels_lock:
-            kernels = sorted(
-                f"{name}@{scale:g}/{seed}"
-                for name, scale, seed in self._kernels
-            )
-        return {
+        payload = {
             "protocol": PROTOCOL_VERSION,
             "results_version": RESULTS_VERSION,
             "pid": os.getpid(),
@@ -629,63 +676,28 @@ class Server:
             "counters": self.counters.as_dict(),
             "queue": queue,
             "inflight": len(self._inflight),
-            "engines_built": engines_built,
-            "idle_engines": idle_engines,
-            "resident_kernels": kernels,
-            "resident_profiles": len(self._profiles),
         }
-
-
-def _run_job(server: Server, norm: dict) -> tuple[dict, _JobMeta]:
-    """Executor-thread body of one compute request: warm state in, pure
-    simulation, JSON payload out.  Serializes on the kernel's resident
-    lock (shared block-memo window) — see the module docstring."""
-    kernel, kernel_lock, kernel_warm = server._get_kernel(norm)
-    meta = _JobMeta(kind=norm["kind"], kernel_warm=kernel_warm)
-    sim, warm = server._checkout_engine(norm)
-    meta.engine_warm = warm
-    try:
-        with kernel_lock:
-            if norm["kind"] == "simulate":
-                if not 0 <= norm["launch"] < len(kernel.launches):
-                    raise RequestError(
-                        f"launch {norm['launch']} out of range: "
-                        f"{norm['kernel']} has {len(kernel.launches)} "
-                        f"launches at scale {norm['scale']:g}"
-                    )
-                launch = kernel.launches[norm["launch"]]
-                regen0 = launch.regenerations
-                result = sim.run_launch(launch)
-                meta.block_regenerations = launch.regenerations - regen0
-                return result_payload(result), meta
-            profile, source = server._get_profile(kernel)
-            meta.profile_source = source
-            regen0 = sum(l.regenerations for l in kernel.launches)
-            from repro.core.pipeline import run_tbpoint
-
-            tbp = run_tbpoint(
-                kernel,
-                sim.config,
-                SamplingConfig(),
-                profile=profile,
-                simulator=sim,
-                exec_config=ExecutionConfig(jobs=1, use_cache=False),
-            )
-            meta.block_regenerations = (
-                sum(l.regenerations for l in kernel.launches) - regen0
-            )
-            return tbpoint_payload(tbp), meta
-    finally:
-        server._checkin_engine(sim)
+        # In-process warm stores (worker processes keep their own; the
+        # keys below describe the daemon's thread-path/fallback runner).
+        payload.update(self._runner.stats())
+        if self._supervisor is not None:
+            payload["workers"] = self._supervisor.snapshot()
+        return payload
 
 
 def run_server(config: ServeConfig | None = None) -> None:
-    """Blocking entry point (the ``repro serve`` command body)."""
+    """Blocking entry point (the ``repro serve`` command body).
+
+    SIGTERM and SIGINT are handled inside the loop (installed by
+    :meth:`Server.start`): both trigger the graceful drain, so accepted
+    requests are answered and ``--metrics-json`` is flushed before
+    exit.  The ``KeyboardInterrupt`` catch is the fallback for
+    platforms where signal handlers can't be installed."""
     server = Server(config)
     try:
         asyncio.run(server.run())
     except KeyboardInterrupt:
-        pass  # graceful: the drain ran inside run() via finally paths
+        pass
 
 
 class ServerThread:

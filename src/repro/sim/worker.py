@@ -24,6 +24,14 @@ hierarchy per launch and the interning cache is an id-pinned pure
 cache, so a warm simulator is bit-identical to a fresh one (the
 parallel-vs-serial property tests cover this path).  The module global
 is per-process state — never pickled, never shared.
+
+PR 9 widened the single warm slot into a small keyed registry
+(:data:`MAX_WARM_SIMULATORS` entries, FIFO-evicted): the serve
+daemon's long-lived worker processes serve arbitrary request mixes, and
+a single slot thrashes — alternate ``compact``/``reference`` requests
+would rebuild the simulator (and throw away its interning tables) on
+every job.  Sweep fan-out workers see exactly the old behavior: one
+triple, one resident simulator.
 """
 
 from __future__ import annotations
@@ -31,8 +39,14 @@ from __future__ import annotations
 from repro.config import GPUConfig
 from repro.sim.gpu import GPUSimulator
 
-#: The process-local warm simulator (None until first use).
-_SIM: GPUSimulator | None = None
+#: Warm simulators kept per process before the oldest is evicted.
+#: Small on purpose: each holds engine state plus interning tables, and
+#: one process rarely serves more than a few distinct triples.
+MAX_WARM_SIMULATORS = 4
+
+#: The process-local warm registry, keyed by :func:`simulator_key`
+#: (insertion-ordered dict → FIFO eviction).
+_SIMS: dict[tuple, GPUSimulator] = {}
 
 
 def simulator_key(
@@ -72,8 +86,8 @@ def init_worker(
     Runs at worker spawn (including pool respawns after a broken
     pool).  Only *primes* state — results never depend on it.
     """
-    global _SIM
-    _SIM = GPUSimulator(gpu, engine=engine, mem_front_end=mem_front_end)
+    _SIMS.clear()
+    get_simulator(gpu, engine=engine, mem_front_end=mem_front_end)
 
 
 def get_simulator(
@@ -83,21 +97,32 @@ def get_simulator(
 ) -> GPUSimulator:
     """The process-local simulator for this configuration triple.
 
-    Returns the warm instance built by :func:`init_worker` (or by a
-    previous task) when :func:`simulator_matches` accepts it, and
-    builds a replacement otherwise.
+    Returns the resident instance for the triple when one exists
+    (built by :func:`init_worker` or a previous task) and builds —
+    and registers — a replacement otherwise, evicting the oldest
+    resident past :data:`MAX_WARM_SIMULATORS`.
     """
-    global _SIM
-    sim = _SIM
-    if sim is None or not simulator_matches(sim, gpu, engine, mem_front_end):
+    key = simulator_key(gpu, engine, mem_front_end)
+    sim = _SIMS.get(key)
+    if sim is None:
         sim = GPUSimulator(gpu, engine=engine, mem_front_end=mem_front_end)
-        _SIM = sim
+        while len(_SIMS) >= MAX_WARM_SIMULATORS:
+            _SIMS.pop(next(iter(_SIMS)))
+        _SIMS[key] = sim
     return sim
 
 
+def warm_simulator_count() -> int:
+    """How many simulators this process keeps resident (tests and
+    worker stats)."""
+    return len(_SIMS)
+
+
 __all__ = [
+    "MAX_WARM_SIMULATORS",
     "init_worker",
     "get_simulator",
     "simulator_key",
     "simulator_matches",
+    "warm_simulator_count",
 ]

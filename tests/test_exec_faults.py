@@ -67,6 +67,51 @@ WANT = [i * i for i in ITEMS]
 
 
 # ----------------------------------------------------------------------
+# FaultPlan as pure data (PR 9: plans cross a JSON file into a daemon)
+# ----------------------------------------------------------------------
+class TestFaultPlanJSON:
+    PLAN = FaultPlan(
+        faults=(
+            Fault(CRASH, 0, 0),
+            Fault(RAISE, 3, 1),
+            Fault("hang", 2, 0, duration=1.5),
+            Fault(CORRUPT_CACHE, 1, 2),
+        ),
+        seed=42,
+        cache_dir="/tmp/somewhere",
+    )
+
+    def test_round_trips_through_json(self):
+        import json
+
+        data = json.loads(json.dumps(self.PLAN.as_dict()))
+        assert FaultPlan.from_dict(data) == self.PLAN
+
+    def test_parent_pid_preserved_verbatim(self):
+        """The crash guard protects the plan's *builder*, not whoever
+        deserialized it — a daemon loading a test's plan must keep the
+        test's PID so CRASH faults still fire in the daemon's workers
+        but never in the degraded in-parent path of the builder."""
+        data = self.PLAN.as_dict()
+        data["parent_pid"] = 12345
+        assert FaultPlan.from_dict(data).parent_pid == 12345
+
+    def test_fires_reports_exact_coordinates(self):
+        assert self.PLAN.fires(0, 0) == (Fault(CRASH, 0, 0),)
+        assert self.PLAN.fires(3, 1) == (Fault(RAISE, 3, 1),)
+        assert self.PLAN.fires(0, 1) == ()
+        assert self.PLAN.fires(9, 0) == ()
+
+    def test_from_dict_fills_defaults(self):
+        plan = FaultPlan.from_dict(
+            {"faults": [{"kind": "raise", "index": 2}], "parent_pid": 7}
+        )
+        assert plan.faults == (Fault(RAISE, 2, 0),)
+        assert plan.seed == 0
+        assert plan.cache_dir is None
+
+
+# ----------------------------------------------------------------------
 # parallel_map under every fault mode
 # ----------------------------------------------------------------------
 class TestFaultModes:

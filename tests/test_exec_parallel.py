@@ -293,6 +293,29 @@ class TestWarmWorkerSimulator:
         assert worker.get_simulator(GPU, engine="reference") is not warm
         assert worker.get_simulator(GPU, mem_front_end="vector") is not warm
 
+    def test_registry_keeps_multiple_triples_resident(self):
+        """PR 9: long-lived serve workers alternate between request
+        mixes; the registry must not thrash on alternation."""
+        import repro.sim.worker as worker
+
+        worker.init_worker(GPU)
+        compact = worker.get_simulator(GPU)
+        reference = worker.get_simulator(GPU, engine="reference")
+        # Alternating requests keep hitting their own resident sim.
+        assert worker.get_simulator(GPU) is compact
+        assert worker.get_simulator(GPU, engine="reference") is reference
+        assert worker.warm_simulator_count() == 2
+
+    def test_registry_evicts_oldest_past_the_bound(self):
+        import repro.sim.worker as worker
+
+        worker.init_worker(GPU)
+        oldest = worker.get_simulator(GPU)
+        for num_sms in range(3, 3 + worker.MAX_WARM_SIMULATORS):
+            worker.get_simulator(GPU.with_(num_sms=num_sms))
+        assert worker.warm_simulator_count() == worker.MAX_WARM_SIMULATORS
+        assert worker.get_simulator(GPU) is not oldest  # evicted, rebuilt
+
     def test_warm_simulator_results_bit_identical_to_fresh(self):
         import repro.sim.worker as worker
 

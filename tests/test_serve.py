@@ -15,6 +15,7 @@ The contract under test, in order of importance:
 from __future__ import annotations
 
 import socket
+import struct
 import threading
 
 import pytest
@@ -81,6 +82,62 @@ class TestProtocol:
         big = {"blob": "x" * (MAX_MESSAGE_BYTES + 1)}
         with pytest.raises(ProtocolError):
             encode_message(big)
+
+    def test_zero_length_frame_rejected(self):
+        from repro.serve.protocol import recv_message
+
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 0))
+            with pytest.raises(ProtocolError, match="zero-length"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestProtocolLimitsAgainstServer:
+    """Framing abuse on the wire hurts only the abusing connection:
+    the server answers it with a hang-up and the accept loop keeps
+    serving everyone else."""
+
+    def _raw_connection(self, path: str) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(10.0)
+        sock.connect(path)
+        return sock
+
+    def _assert_server_still_serves(self, handle) -> None:
+        with ServeClient(handle.socket_path) as client:
+            assert client.ping()["protocol"] >= 1
+
+    def test_oversized_frame_closes_only_that_connection(self, serve_dir):
+        with start_server(serve_dir) as handle:
+            raw = self._raw_connection(handle.socket_path)
+            try:
+                raw.sendall(struct.pack(">I", MAX_MESSAGE_BYTES + 1))
+                assert raw.recv(1) == b""  # per-connection hang-up
+            finally:
+                raw.close()
+            self._assert_server_still_serves(handle)
+
+    def test_zero_length_frame_closes_only_that_connection(self, serve_dir):
+        with start_server(serve_dir) as handle:
+            raw = self._raw_connection(handle.socket_path)
+            try:
+                raw.sendall(struct.pack(">I", 0))
+                assert raw.recv(1) == b""
+            finally:
+                raw.close()
+            self._assert_server_still_serves(handle)
+
+    def test_partial_frame_disconnect_mid_payload(self, serve_dir):
+        with start_server(serve_dir) as handle:
+            raw = self._raw_connection(handle.socket_path)
+            # Claim 100 payload bytes, deliver a torn prefix, vanish.
+            raw.sendall(struct.pack(">I", 100) + b'{"id": 1, "ki')
+            raw.close()
+            self._assert_server_still_serves(handle)
 
 
 class TestNormalization:
