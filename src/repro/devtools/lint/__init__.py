@@ -1,5 +1,8 @@
 """``repro lint``: AST-based static checks for this repository's
-determinism, process-safety, hot-loop and oracle-parity contracts.
+determinism, process-safety, hot-loop and oracle-parity contracts
+(DESIGN.md §10) and the serving stack's concurrency contracts —
+async/fork safety, message-protocol conformance, counter parity
+(DESIGN.md §15).
 
 Library API::
 
@@ -9,8 +12,7 @@ Library API::
     result.findings     # everything, sorted by (path, line, col, rule)
 
 See :mod:`repro.devtools.lint.core` for the checker framework and the
-pragma syntax, the ``checkers`` package for the built-in rules, and
-DESIGN.md §10 for the contract the rules enforce.
+pragma syntax, and the ``checkers`` package for the built-in rules.
 """
 
 from repro.devtools.lint.core import (

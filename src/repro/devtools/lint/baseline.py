@@ -28,9 +28,20 @@ BASELINE_VERSION = 1
 DEFAULT_BASELINE_NAME = "lint-baseline.json"
 
 
-def load_baseline(path: Path | None) -> Counter:
-    """Baseline entry counts; an absent/corrupt file is an empty
-    baseline (strictest behaviour — everything is new)."""
+class BaselineError(ValueError):
+    """An explicitly requested baseline file that cannot be used.
+    A ``ValueError`` so the CLI's usage-error path (exit 2) applies."""
+
+
+def load_baseline(path: Path | None, strict: bool = False) -> Counter:
+    """Baseline entry counts.
+
+    Lenient mode (default — used for auto-discovered baselines): an
+    absent/corrupt file is an empty baseline, the strictest behaviour
+    (everything is new).  Strict mode (an explicit ``--baseline``
+    argument): an unreadable, unparsable or wrong-version file raises
+    :class:`BaselineError` — a typo'd path silently meaning "no
+    baseline" would flip CI red for the wrong reason."""
     if path is None:
         return Counter()
     try:
@@ -38,11 +49,18 @@ def load_baseline(path: Path | None) -> Counter:
             data = json.load(fh)
         entries = data["entries"]
         if int(data.get("version", 0)) != BASELINE_VERSION:
+            if strict:
+                raise BaselineError(
+                    f"baseline {path}: unsupported version "
+                    f"{data.get('version')!r} (expected {BASELINE_VERSION})"
+                )
             return Counter()
         return Counter(
             {str(k): int(v) for k, v in entries.items() if int(v) > 0}
         )
-    except (OSError, ValueError, KeyError, TypeError):
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        if strict:
+            raise BaselineError(f"baseline {path}: unreadable ({exc})") from exc
         return Counter()
 
 

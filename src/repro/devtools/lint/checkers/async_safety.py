@@ -1,0 +1,277 @@
+"""Async-safety checker: nothing blocks the serve daemon's event loop.
+
+The ``repro serve`` front end is a single asyncio loop; one blocking
+call inside an ``async def`` stalls every connection, heartbeat and
+drain at once.  The contract (DESIGN.md §15): blocking work runs on the
+thread pool (``asyncio.to_thread`` / ``run_in_executor``) or in worker
+processes, never inline on the loop.
+
+Rules
+-----
+ASYNC001
+    Blocking call inside an ``async def`` in ``serve/``:
+    ``time.sleep``, ``subprocess.*``, builtin ``open``, ``os.fsync``,
+    blocking socket ops, ``Future.result()``, blocking ``Path`` methods
+    (``read_text``/``write_text``/``mkdir``/``unlink``/...), and any
+    method on a journal/cache-named receiver (``self._journal.record``,
+    ``self._profile_cache.get`` — the ``ProfileCache``/``SweepJournal``
+    disk ops do fsync'd writes).  One level of call-graph indirection is
+    followed: calling a *sync* helper defined in the same package whose
+    body directly contains a blocking call is flagged at the async call
+    site.  Resolution is by bare name via the package call graph; a
+    name shared by sync and async defs is skipped (known false-negative
+    edge, see DESIGN.md §15).
+ASYNC002
+    Un-awaited coroutine: a bare statement-expression call of a
+    function that resolves (unambiguously, same package) to an
+    ``async def`` — the coroutine object is created and dropped, the
+    body never runs.  Scoped to ``serve/`` like ASYNC001.
+ASYNC003
+    ``asyncio.create_task(...)`` as a bare statement expression: the
+    task handle is dropped, so the task can be garbage-collected
+    mid-flight and its exception is never observed.  Store the handle
+    (and discard it in a done callback) or gather it.  Applies
+    everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.core import (
+    Checker,
+    Finding,
+    FunctionInfo,
+    ParsedFile,
+    ProjectContext,
+    import_map,
+    qualified_name,
+    register,
+    walk_skipping_functions,
+)
+
+#: Directories whose async defs must never block the loop.
+ASYNC_DIRS = ("serve",)
+
+#: Dotted call targets that block the calling thread.
+_BLOCKING_QUALNAMES = {
+    "time.sleep",
+    "os.fsync",
+    "os.fdatasync",
+    "open",
+    "socket.create_connection",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "urllib.request.urlopen",
+}
+
+#: Method names that block regardless of receiver: file/Path I/O,
+#: blocking socket ops, and ``concurrent.futures.Future.result``.
+#: Deliberately excludes ambiguous names (``join``, ``close``, ``get``)
+#: — false-negative edges documented in DESIGN.md §15.
+_BLOCKING_METHODS = {
+    "read_text", "write_text", "read_bytes", "write_bytes",
+    "mkdir", "unlink", "rename", "replace", "rmdir", "touch",
+    "sendall", "recv", "recv_into", "accept", "connect",
+    "result",
+}
+
+#: Final name segments marking persistent-store handles whose every
+#: method is a disk op (``self._journal.record``, ``self._profile_cache
+#: .get`` — ``SweepJournal`` fsyncs per record, ``ProfileCache`` hits
+#: the filesystem).  Matched against the receiver's last
+#: underscore-separated segment, so derived in-memory mirrors with a
+#: suffix (``_journal_results``) are exempt by naming convention.
+_BLOCKING_RECEIVER_SEGMENTS = ("journal", "cache")
+
+#: asyncio module functions that are coroutine functions (for ASYNC002
+#: on qualified calls that cannot resolve through the package graph).
+_ASYNCIO_COROUTINES = {
+    "asyncio.sleep",
+    "asyncio.gather",
+    "asyncio.wait",
+    "asyncio.wait_for",
+    "asyncio.open_connection",
+    "asyncio.open_unix_connection",
+    "asyncio.start_server",
+    "asyncio.start_unix_server",
+}
+
+
+def _receiver_name(call: ast.Call) -> str | None:
+    """Bare name of a method call's receiver: ``self._journal.record``
+    -> ``_journal``; ``conn.send`` -> ``conn``."""
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    value = call.func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return None
+
+
+def _blocking_reason(
+    call: ast.Call, imports: dict[str, str]
+) -> str | None:
+    """Why this call blocks the calling thread, or ``None``."""
+    qual = qualified_name(call.func, imports)
+    if qual is not None and qual in _BLOCKING_QUALNAMES:
+        return f"{qual}() blocks"
+    if qual is not None and qual.split(".")[0] == "subprocess":
+        return f"{qual}() blocks"
+    if isinstance(call.func, ast.Attribute):
+        if call.func.attr in _BLOCKING_METHODS:
+            return f".{call.func.attr}() blocks"
+        receiver = _receiver_name(call)
+        if receiver is not None and (
+            receiver.lower().strip("_").rsplit("_", 1)[-1]
+            in _BLOCKING_RECEIVER_SEGMENTS
+        ):
+            return (
+                f"{receiver}.{call.func.attr}() is a persistent-store "
+                "disk op"
+            )
+    return None
+
+
+def _helper_blocking_reason(
+    name: str, graph: dict[str, list[FunctionInfo]]
+) -> str | None:
+    """Does ``name`` resolve to sync same-package helper(s) whose body
+    directly contains a blocking call?  Only unambiguous resolutions
+    count: if any definition with this bare name is async, skip."""
+    defs = graph.get(name)
+    if not defs or any(info.is_async for info in defs):
+        return None
+    for info in defs:
+        imports = import_map(info.pf.tree)
+        for sub in walk_skipping_functions(info.node):
+            if isinstance(sub, ast.Call):
+                reason = _blocking_reason(sub, imports)
+                if reason is not None:
+                    return (
+                        f"sync helper {name}() defined in {info.pf.rel} "
+                        f"blocks ({reason})"
+                    )
+    return None
+
+
+def _resolves_to_coroutine(
+    call: ast.Call, graph: dict[str, list[FunctionInfo]], imports: dict[str, str]
+) -> bool:
+    qual = qualified_name(call.func, imports)
+    if qual in _ASYNCIO_COROUTINES:
+        return True
+    if isinstance(call.func, (ast.Name, ast.Attribute)):
+        name = (
+            call.func.id if isinstance(call.func, ast.Name) else call.func.attr
+        )
+        defs = graph.get(name)
+        return bool(defs) and all(info.is_async for info in defs)
+    return False
+
+
+def _is_create_task(call: ast.Call, imports: dict[str, str]) -> bool:
+    if qualified_name(call.func, imports) == "asyncio.create_task":
+        return True
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "create_task"
+    )
+
+
+@register
+class AsyncSafetyChecker(Checker):
+    name = "async-safety"
+    rules = {
+        "ASYNC001": "blocking call inside an async def in serve/",
+        "ASYNC002": "coroutine called but never awaited",
+        "ASYNC003": "asyncio.create_task result dropped (unstored task)",
+    }
+
+    # ASYNC003 needs no cross-file context; keeping it per-file keeps
+    # the rule active even when one file is linted in isolation.
+    def check_file(self, pf: ParsedFile) -> Iterator[Finding]:
+        imports = import_map(pf.tree)
+        for node in ast.walk(pf.tree):
+            if (
+                isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+                and _is_create_task(node.value, imports)
+            ):
+                yield Finding(
+                    pf.rel, node.lineno, node.col_offset, "ASYNC003",
+                    "asyncio.create_task(...) result dropped: an "
+                    "unreferenced task can be garbage-collected "
+                    "mid-flight and its exception is never observed; "
+                    "store the handle or gather it",
+                    self.name,
+                )
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        for pf in ctx.files:
+            if not pf.in_dirs(ASYNC_DIRS):
+                continue
+            graph = ctx.package_functions(pf)
+            imports = import_map(pf.tree)
+            for node in ast.walk(pf.tree):
+                if isinstance(node, ast.AsyncFunctionDef):
+                    yield from self._check_async_body(pf, node, imports, graph)
+                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._check_unawaited(pf, node, imports, graph)
+
+    def _check_async_body(
+        self,
+        pf: ParsedFile,
+        fn: ast.AsyncFunctionDef,
+        imports: dict[str, str],
+        graph: dict[str, list[FunctionInfo]],
+    ) -> Iterator[Finding]:
+        yield from self._check_unawaited(pf, fn, imports, graph)
+        for sub in walk_skipping_functions(fn):
+            if not isinstance(sub, ast.Call):
+                continue
+            reason = _blocking_reason(sub, imports)
+            if reason is None and isinstance(sub.func, ast.Attribute):
+                # One hop through a sync helper in the same package
+                # (``self._write_metrics()`` whose body write_text's).
+                reason = _helper_blocking_reason(sub.func.attr, graph)
+            elif reason is None and isinstance(sub.func, ast.Name):
+                reason = _helper_blocking_reason(sub.func.id, graph)
+            if reason is not None:
+                yield Finding(
+                    pf.rel, sub.lineno, sub.col_offset, "ASYNC001",
+                    f"blocking call on the event loop in async def "
+                    f"{fn.name}(): {reason}; move it to "
+                    "asyncio.to_thread/run_in_executor or a worker",
+                    self.name,
+                )
+
+    def _check_unawaited(
+        self,
+        pf: ParsedFile,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        imports: dict[str, str],
+        graph: dict[str, list[FunctionInfo]],
+    ) -> Iterator[Finding]:
+        for stmt in walk_skipping_functions(fn):
+            if not (
+                isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)
+            ):
+                continue
+            call = stmt.value
+            if _is_create_task(call, imports):
+                continue  # ASYNC003's finding, reported per-file
+            if _resolves_to_coroutine(call, graph, imports):
+                yield Finding(
+                    pf.rel, stmt.lineno, stmt.col_offset, "ASYNC002",
+                    "coroutine called but never awaited: the call only "
+                    "builds the coroutine object; await it (or wrap it "
+                    "in asyncio.create_task and keep the handle)",
+                    self.name,
+                )

@@ -1,0 +1,223 @@
+"""Counter-parity: every serve counter is both updated and flushed.
+
+The serving stack's observability rests on dataclass counter bundles
+(``ServeCounters``, ``SupervisorCounters``) whose fields are bumped at
+event sites and exported through the stats/``--metrics-json`` flush
+path (``as_dict``/``snapshot``).  Nothing ties the two ends together:
+a counter bumped but never exported is invisible telemetry, and a
+declared field never bumped is a dashboard lying as a flat zero.
+
+Collection (``serve/`` files only):
+
+* **declared fields** — annotated assignments in any ``*Counters``
+  class body;
+* **updates** — ``+=``/``=`` on a counters-rooted attribute:
+  ``self.counters.X``, a local alias bound from ``*.counters``
+  (``c = self.counters; c.X += 1``), or ``self.X`` inside a
+  ``*Counters`` method;
+* **flushes** — Load-context reads of counters-rooted attributes
+  (``snapshot`` reading ``self.counters.hangs``), plus a blanket
+  flush of a class's whole field set when any of its methods calls
+  ``asdict(self)`` / ``dataclasses.asdict(self)``.
+
+Rule
+----
+CTR001
+    A counters field updated in ``serve/`` but absent from every flush
+    path (reported at the update site), or declared on a ``*Counters``
+    class but never updated anywhere (reported at the declaration).
+    Matching is by field name across the union of counter classes —
+    same-named fields on two bundles alias (a documented
+    approximation, DESIGN.md §15).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.devtools.lint.core import (
+    Checker,
+    Finding,
+    ParsedFile,
+    ProjectContext,
+    register,
+)
+
+CTR_DIRS = ("serve",)
+
+
+@dataclass
+class _Site:
+    pf: ParsedFile
+    node: ast.AST
+    name: str
+
+
+@dataclass
+class _Collected:
+    #: field name -> declaration sites (AnnAssign in a *Counters class)
+    declared: dict[str, list[_Site]] = field(default_factory=dict)
+    #: field name -> update sites
+    updated: dict[str, list[_Site]] = field(default_factory=dict)
+    flushed: set[str] = field(default_factory=set)
+
+
+def _is_counters_class(node: ast.ClassDef) -> bool:
+    return node.name.endswith("Counters")
+
+
+def _counters_aliases(fn: ast.AST) -> set[str]:
+    """Local names bound from a ``.counters`` attribute
+    (``c = self.counters``)."""
+    out: set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "counters"
+        ):
+            out.add(node.targets[0].id)
+    return out
+
+
+def _counters_field_of(
+    node: ast.AST, aliases: set[str], self_is_counters: bool
+) -> str | None:
+    """The field name when ``node`` is a counters-rooted attribute:
+    ``self.counters.X`` / ``alias.X`` / (inside a ``*Counters`` method)
+    ``self.X``."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    value = node.value
+    if isinstance(value, ast.Attribute) and value.attr == "counters":
+        return node.attr
+    if isinstance(value, ast.Name):
+        if value.id == "counters" or value.id in aliases:
+            return node.attr
+        if self_is_counters and value.id == "self":
+            return node.attr
+    return None
+
+
+def _calls_asdict_on_self(fn: ast.AST) -> bool:
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = None
+        if isinstance(node.func, ast.Name):
+            callee = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            callee = node.func.attr
+        if callee != "asdict":
+            continue
+        if node.args and isinstance(node.args[0], ast.Name) and (
+            node.args[0].id == "self"
+        ):
+            return True
+    return False
+
+
+def _collect_class(pf: ParsedFile, cls: ast.ClassDef, out: _Collected) -> None:
+    fields = [
+        stmt.target.id
+        for stmt in cls.body
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+    ]
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            out.declared.setdefault(stmt.target.id, []).append(
+                _Site(pf, stmt, stmt.target.id)
+            )
+    for stmt in cls.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if _calls_asdict_on_self(stmt):
+            out.flushed.update(fields)
+        _collect_sites(pf, stmt, out, self_is_counters=True)
+
+
+def _collect_sites(
+    pf: ParsedFile, fn: ast.AST, out: _Collected, self_is_counters: bool = False
+) -> None:
+    aliases = _counters_aliases(fn)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.AugAssign):
+            name = _counters_field_of(node.target, aliases, self_is_counters)
+            if name is not None:
+                out.updated.setdefault(name, []).append(_Site(pf, node, name))
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                name = _counters_field_of(target, aliases, self_is_counters)
+                if name is not None:
+                    out.updated.setdefault(name, []).append(
+                        _Site(pf, node, name)
+                    )
+        elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            name = _counters_field_of(node, aliases, self_is_counters)
+            if name is not None:
+                out.flushed.add(name)
+
+
+@register
+class CounterParityChecker(Checker):
+    name = "counter-parity"
+    rules = {
+        "CTR001": "counter updated but never flushed, or declared but "
+                  "never updated",
+    }
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        col = _Collected()
+        for pf in ctx.files:
+            if not pf.in_dirs(CTR_DIRS):
+                continue
+            counters_classes: set[int] = set()
+            for node in ast.walk(pf.tree):
+                if isinstance(node, ast.ClassDef) and _is_counters_class(node):
+                    _collect_class(pf, node, col)
+                    for sub in ast.walk(node):
+                        counters_classes.add(id(sub))
+            # Module-level and non-Counters-class functions: plain
+            # update/flush sites (skip nodes already walked above).
+            for node in ast.walk(pf.tree):
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and id(node) not in counters_classes
+                ):
+                    _collect_sites(pf, node, col)
+
+        if not col.declared:
+            return  # no counter bundles in scope; nothing to reconcile
+
+        for name, sites in sorted(col.updated.items()):
+            if name in col.flushed:
+                continue
+            for site in sites:
+                yield Finding(
+                    site.pf.rel,
+                    getattr(site.node, "lineno", 1),
+                    getattr(site.node, "col_offset", 0),
+                    "CTR001",
+                    f"counter {name!r} is updated here but never appears "
+                    "in any stats/metrics flush path (as_dict/snapshot); "
+                    "invisible telemetry",
+                    self.name,
+                )
+        for name, sites in sorted(col.declared.items()):
+            if name in col.updated:
+                continue
+            for site in sites:
+                yield Finding(
+                    site.pf.rel,
+                    getattr(site.node, "lineno", 1),
+                    getattr(site.node, "col_offset", 0),
+                    "CTR001",
+                    f"counter field {name!r} is declared (and flushed) "
+                    "but never updated anywhere in serve/; it reports a "
+                    "constant zero",
+                    self.name,
+                )

@@ -1,0 +1,420 @@
+"""Message-protocol conformance: send and recv sites must agree.
+
+The serving stack speaks two message planes whose shapes live only in
+convention: the JSON *wire* protocol (``serve/protocol.py`` framing;
+dict messages built in ``client.py`` and ``server.py``) and the worker
+*pipe* protocol (tag-prefixed tuples between ``supervisor.py`` and its
+worker processes).  Nothing ties a send site's dict keys to a recv
+site's ``.get(...)``s — a renamed field or a never-produced dispatch
+arm fails silently at runtime.  This ProjectContext pass (the ORA001
+pattern) cross-references them statically.
+
+Collection (per ``serve/`` file, name-flow within one function):
+
+* **wire send sites** — dict literals flowing into ``send_message`` /
+  ``write_message`` / ``_send`` calls (inline or via a local name),
+  plus string-key subscript assigns on that name;
+* **produced kinds** — string-constant first arguments of ``call(...)``
+  / ``submit(...)`` and constant ``"kind"`` values in send dicts;
+* **pipe send sites** — ``conn.send((tag, ...))`` tuples' leading
+  string constants;
+* **recv accesses** — ``.get("k")`` / ``["k"]`` on names bound from
+  ``read_message``/``recv_message`` (or parameters named ``msg`` /
+  ``response`` — the cross-function hand-off approximation);
+* **dispatches** — string comparisons/memberships against a kind
+  variable (bound from ``X.get("kind")`` or a parameter named
+  ``kind``) or a pipe tag variable (bound from ``P[0]`` of a
+  ``recv()``-bound name).
+
+Rules
+-----
+MSG001
+    A wire field read at a recv site but never sent by any send site,
+    or a kind/tag dispatched at a recv site but never produced by any
+    send site.  (The inverse — produced but never dispatched — is
+    legal: additive evolution sends new fields before old readers
+    learn them.)
+MSG002
+    A wire send dict missing a field ``protocol.py`` declares required
+    for its direction (``REQUIRED_FIELDS``; a dict with ``"kind"`` is
+    a request, with ``"ok"`` a response).  Conditional subscript
+    assigns do not satisfy a required field — required means
+    unconditionally present in the literal.  This is the non-additive-
+    change guard: a field can only become required once every sender
+    already carries it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.devtools.lint.core import (
+    Checker,
+    Finding,
+    ParsedFile,
+    ProjectContext,
+    register,
+)
+
+MSG_DIRS = ("serve",)
+
+_WIRE_SEND_CALLEES = {"send_message", "write_message", "_send"}
+_KIND_PRODUCING_CALLEES = {"call", "submit"}
+_WIRE_RECV_CALLEES = {"read_message", "recv_message"}
+_RECV_PARAM_NAMES = {"msg", "response"}
+
+
+def _bare_callee(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _unwrap_await(node: ast.expr) -> ast.expr:
+    return node.value if isinstance(node, ast.Await) else node
+
+
+def _str_keys(d: ast.Dict) -> set[str]:
+    return {
+        k.value
+        for k in d.keys
+        if isinstance(k, ast.Constant) and isinstance(k.value, str)
+    }
+
+
+@dataclass
+class _SendSite:
+    pf: ParsedFile
+    node: ast.Dict
+    keys: set[str]
+
+
+@dataclass
+class _Access:
+    pf: ParsedFile
+    node: ast.AST
+    name: str  # the key / kind / tag string
+
+
+@dataclass
+class _Collected:
+    wire_sites: list[_SendSite] = field(default_factory=list)
+    sent_keys: set[str] = field(default_factory=set)
+    produced_kinds: set[str] = field(default_factory=set)
+    produced_tags: set[str] = field(default_factory=set)
+    accessed_keys: list[_Access] = field(default_factory=list)
+    dispatched_kinds: list[_Access] = field(default_factory=list)
+    dispatched_tags: list[_Access] = field(default_factory=list)
+    required: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+
+def _functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _collect_file(pf: ParsedFile, out: _Collected) -> None:
+    # File-wide: pipe sends, produced kinds, REQUIRED_FIELDS.
+    for node in ast.walk(pf.tree):
+        if isinstance(node, ast.Call):
+            callee = _bare_callee(node)
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "send"
+                and node.args
+                and isinstance(node.args[0], ast.Tuple)
+                and node.args[0].elts
+                and isinstance(node.args[0].elts[0], ast.Constant)
+                and isinstance(node.args[0].elts[0].value, str)
+            ):
+                out.produced_tags.add(node.args[0].elts[0].value)
+            if (
+                callee in _KIND_PRODUCING_CALLEES
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                out.produced_kinds.add(node.args[0].value)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "REQUIRED_FIELDS"
+                    and isinstance(node.value, ast.Dict)
+                ):
+                    _parse_required(node.value, out)
+
+    for fn in _functions(pf.tree):
+        _collect_function(pf, fn, out)
+
+
+def _parse_required(d: ast.Dict, out: _Collected) -> None:
+    for key, value in zip(d.keys, d.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            continue
+        if isinstance(value, (ast.Tuple, ast.List)):
+            fields = tuple(
+                e.value
+                for e in value.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)
+            )
+            out.required[key.value] = fields
+
+
+def _collect_function(
+    pf: ParsedFile,
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    out: _Collected,
+) -> None:
+    wire_bound: set[str] = set()
+    pipe_bound: set[str] = set()
+    kind_vars: set[str] = set()
+    tag_vars: set[str] = set()
+    send_names: set[str] = set()
+
+    params = {a.arg for a in fn.args.args + fn.args.kwonlyargs}
+    wire_bound |= params & _RECV_PARAM_NAMES
+    if "kind" in params:
+        kind_vars.add("kind")
+
+    # Pass 1: name bindings and send-call arguments.
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = _unwrap_await(node.value)
+            if isinstance(target, ast.Name):
+                if (
+                    isinstance(value, ast.Call)
+                    and _bare_callee(value) in _WIRE_RECV_CALLEES
+                ):
+                    wire_bound.add(target.id)
+                elif (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "recv"
+                ):
+                    pipe_bound.add(target.id)
+        if isinstance(node, ast.Call) and _bare_callee(node) in _WIRE_SEND_CALLEES:
+            if node.args:
+                arg = node.args[-1]
+                if isinstance(arg, ast.Dict):
+                    keys = _str_keys(arg)
+                    out.wire_sites.append(_SendSite(pf, arg, keys))
+                    out.sent_keys |= keys
+                    _record_kind_value(arg, out)
+                elif isinstance(arg, ast.Name):
+                    send_names.add(arg.id)
+
+    # Derived bindings need the recv sets complete first.
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            value = _unwrap_await(node.value)
+            key = _wire_key_of(value, wire_bound)
+            if key == "kind":
+                kind_vars.add(node.targets[0].id)
+            if _is_pipe_tag_expr(value, pipe_bound):
+                tag_vars.add(node.targets[0].id)
+
+    # Pass 2: dict literals/subscript-assigns for send names, recv
+    # accesses, and dispatch comparisons.
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in send_names
+                    and isinstance(node.value, ast.Dict)
+                ):
+                    keys = _str_keys(node.value)
+                    out.wire_sites.append(_SendSite(pf, node.value, keys))
+                    out.sent_keys |= keys
+                    _record_kind_value(node.value, out)
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in send_names
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    out.sent_keys.add(target.slice.value)
+        key = _wire_key_of(node, wire_bound)
+        if key is not None and isinstance(node, (ast.Call, ast.Subscript)):
+            if not (isinstance(node, ast.Subscript) and isinstance(
+                node.ctx, ast.Store
+            )):
+                out.accessed_keys.append(_Access(pf, node, key))
+        if isinstance(node, ast.Compare):
+            _collect_dispatch(
+                pf, node, wire_bound, pipe_bound, kind_vars, tag_vars, out
+            )
+
+
+def _record_kind_value(d: ast.Dict, out: _Collected) -> None:
+    for key, value in zip(d.keys, d.values):
+        if (
+            isinstance(key, ast.Constant)
+            and key.value == "kind"
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            out.produced_kinds.add(value.value)
+
+
+def _wire_key_of(node: ast.AST, wire_bound: set[str]) -> str | None:
+    """The string key when ``node`` is ``W.get("k")`` or ``W["k"]`` on a
+    recv-bound name ``W``."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id in wire_bound
+        and node.args
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+    ):
+        return node.args[0].value
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in wire_bound
+        and isinstance(node.slice, ast.Constant)
+        and isinstance(node.slice.value, str)
+    ):
+        return node.slice.value
+    return None
+
+
+def _is_pipe_tag_expr(node: ast.AST, pipe_bound: set[str]) -> bool:
+    """``P[0]`` of a pipe recv-bound name."""
+    return (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in pipe_bound
+        and isinstance(node.slice, ast.Constant)
+        and node.slice.value == 0
+    )
+
+
+def _comparator_strings(node: ast.expr) -> set[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return {node.value}
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return {
+            e.value
+            for e in node.elts
+            if isinstance(e, ast.Constant) and isinstance(e.value, str)
+        }
+    return set()
+
+
+def _collect_dispatch(
+    pf: ParsedFile,
+    node: ast.Compare,
+    wire_bound: set[str],
+    pipe_bound: set[str],
+    kind_vars: set[str],
+    tag_vars: set[str],
+    out: _Collected,
+) -> None:
+    sides = [node.left, *node.comparators]
+    is_kind = any(
+        (isinstance(s, ast.Name) and s.id in kind_vars)
+        or _wire_key_of(s, wire_bound) == "kind"
+        for s in sides
+    )
+    is_tag = any(
+        (isinstance(s, ast.Name) and s.id in tag_vars)
+        or _is_pipe_tag_expr(s, pipe_bound)
+        for s in sides
+    )
+    if not (is_kind or is_tag):
+        return
+    strings: set[str] = set()
+    for s in sides:
+        strings |= _comparator_strings(s)
+    bucket = out.dispatched_tags if is_tag else out.dispatched_kinds
+    for value in sorted(strings):
+        bucket.append(_Access(pf, node, value))
+
+
+@register
+class MessageProtocolChecker(Checker):
+    name = "message-protocol"
+    rules = {
+        "MSG001": "wire field read or kind/tag dispatched but never sent",
+        "MSG002": "send site missing a protocol-required field",
+    }
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        col = _Collected()
+        for pf in ctx.files:
+            if pf.in_dirs(MSG_DIRS):
+                _collect_file(pf, col)
+
+        # Only judge a plane that has senders in scope: a partial lint
+        # (one recv-side file) must not drown in read-never-sent noise.
+        if col.wire_sites:
+            for access in col.accessed_keys:
+                if access.name not in col.sent_keys:
+                    yield self._finding(
+                        access, "MSG001",
+                        f"wire field {access.name!r} is read at this recv "
+                        "site but no send site in serve/ ever sends it; "
+                        "dead field or a renamed sender",
+                    )
+        if col.produced_kinds:
+            for access in col.dispatched_kinds:
+                if access.name not in col.produced_kinds:
+                    yield self._finding(
+                        access, "MSG001",
+                        f"request kind {access.name!r} is dispatched here "
+                        "but never produced by any client call/submit "
+                        "site; dead dispatch arm or a renamed kind",
+                    )
+        if col.produced_tags:
+            for access in col.dispatched_tags:
+                if access.name not in col.produced_tags:
+                    yield self._finding(
+                        access, "MSG001",
+                        f"pipe tag {access.name!r} is dispatched here but "
+                        "never sent by any conn.send((tag, ...)) site",
+                    )
+        for site in col.wire_sites:
+            direction = (
+                "request" if "kind" in site.keys
+                else "response" if "ok" in site.keys
+                else None
+            )
+            if direction is None:
+                continue  # unclassifiable envelope: documented edge
+            for required in col.required.get(direction, ()):
+                if required not in site.keys:
+                    yield Finding(
+                        site.pf.rel, site.node.lineno, site.node.col_offset,
+                        "MSG002",
+                        f"{direction} send site is missing required field "
+                        f"{required!r} (protocol.py REQUIRED_FIELDS); "
+                        "required fields must be unconditionally present "
+                        "in the message literal",
+                        self.name,
+                    )
+
+    def _finding(self, access: _Access, rule: str, message: str) -> Finding:
+        return Finding(
+            access.pf.rel,
+            getattr(access.node, "lineno", 1),
+            getattr(access.node, "col_offset", 0),
+            rule,
+            message,
+            self.name,
+        )

@@ -72,6 +72,12 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
              f"({', '.join(REGISTRY)})",
     )
     parser.add_argument(
+        "--rules", type=str, default=None, metavar="RULES",
+        help="comma-separated rule ids or family prefixes to run "
+             "(e.g. ASYNC,MSG001); unknown names are a usage error "
+             "(exit 2)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="list every registered rule and exit",
     )
@@ -85,6 +91,11 @@ def run(args: argparse.Namespace) -> int:
 
     root = (args.root or Path.cwd()).resolve()
     baseline_path = args.baseline
+    # An explicit --baseline must exist and parse (exit 2 otherwise: a
+    # typo'd path silently meaning "empty baseline" flips CI red — or,
+    # with --write-baseline, green — for the wrong reason).  The
+    # auto-discovered default stays lenient.
+    baseline_strict = baseline_path is not None and not args.write_baseline
     if baseline_path is None:
         candidate = root / DEFAULT_BASELINE_NAME
         if candidate.is_file() or args.write_baseline:
@@ -92,6 +103,9 @@ def run(args: argparse.Namespace) -> int:
     cache_path = None
     if not args.no_parse_cache:
         cache_path = args.parse_cache or (root / DEFAULT_CACHE_NAME)
+    rules = None
+    if args.rules is not None:
+        rules = [spec for spec in args.rules.split(",") if spec.strip()]
 
     try:
         result = run_lint(
@@ -101,6 +115,8 @@ def run(args: argparse.Namespace) -> int:
             baseline_path=None if args.write_baseline else baseline_path,
             cache_path=cache_path,
             checker_names=args.checkers,
+            rules=rules,
+            baseline_strict=baseline_strict,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -128,7 +144,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
         description="Static determinism/process-safety/hot-loop/"
-                    "oracle-parity checks for the reproduction.",
+                    "oracle-parity and concurrency-contract checks "
+                    "(async/fork safety, message protocol, counter "
+                    "parity) for the reproduction.",
     )
     configure_parser(parser)
     return run(parser.parse_args(argv))

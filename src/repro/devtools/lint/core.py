@@ -153,18 +153,81 @@ class ParsedFile:
 
 
 @dataclass
+class FunctionInfo:
+    """One function/method definition in the lightweight per-package
+    call graph (see :meth:`ProjectContext.package_functions`)."""
+
+    pf: "ParsedFile"
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    name: str
+    is_async: bool
+    #: Bare names this function calls directly (``f()`` -> ``f``,
+    #: ``self.g()``/``x.g()`` -> ``g``); nested defs are not descended
+    #: into.  Name-based, so distinct methods sharing a name collide —
+    #: checkers must treat ambiguous resolutions conservatively.
+    calls: frozenset[str] = frozenset()
+
+
+def _bare_callee(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+@dataclass
 class ProjectContext:
     """What project-wide checkers see: every linted file plus the parsed
     test suite (for cross-referencing implementations against tests)."""
 
     files: list[ParsedFile]
     test_files: list[ParsedFile] = field(default_factory=list)
+    _pkg_graphs: dict[str, dict[str, list[FunctionInfo]]] = field(
+        default_factory=dict, repr=False
+    )
 
     def by_rel(self, rel: str) -> ParsedFile | None:
         for pf in self.files:
             if pf.rel == rel:
                 return pf
         return None
+
+    def package_functions(self, pf: ParsedFile) -> dict[str, list[FunctionInfo]]:
+        """The package call graph for ``pf``'s directory: every function
+        and method defined in any linted file sharing that directory,
+        keyed by bare name.  One level of resolution only — enough to
+        see through a sync helper in the same package, cheap enough to
+        build per lint run.  Built lazily and cached per directory."""
+        directory = Path(pf.rel).parent.as_posix()
+        graph = self._pkg_graphs.get(directory)
+        if graph is None:
+            graph = {}
+            for other in self.files:
+                if Path(other.rel).parent.as_posix() != directory:
+                    continue
+                for node in ast.walk(other.tree):
+                    if not isinstance(
+                        node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    calls = frozenset(
+                        name
+                        for sub in walk_skipping_functions(node)
+                        if isinstance(sub, ast.Call)
+                        and (name := _bare_callee(sub)) is not None
+                    )
+                    graph.setdefault(node.name, []).append(
+                        FunctionInfo(
+                            pf=other,
+                            node=node,
+                            name=node.name,
+                            is_async=isinstance(node, ast.AsyncFunctionDef),
+                            calls=calls,
+                        )
+                    )
+            self._pkg_graphs[directory] = graph
+        return graph
 
 
 class Checker:

@@ -213,9 +213,9 @@ def wait_for_server(
 ) -> None:
     """Poll until a server answers ``ping`` (used right after spawning a
     daemon).  Raises :class:`ServeError` on timeout."""
-    deadline = time.monotonic() + timeout  # lint: disable=DET001
+    deadline = time.monotonic() + timeout  # wall-clock poll budget  # lint: disable=DET001
     last: Exception | None = None
-    while time.monotonic() < deadline:  # lint: disable=DET001
+    while time.monotonic() < deadline:  # wall-clock poll budget  # lint: disable=DET001
         try:
             with ServeClient(socket_path, host, port) as client:
                 client.ping()

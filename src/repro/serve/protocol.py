@@ -39,6 +39,16 @@ PROTOCOL_VERSION = 1
 #: prefixes from a misbehaving peer, not a real payload limit.
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
 
+#: Fields every wire message must carry, by direction.  The MSG002 lint
+#: rule enforces this at every send site: a field may only become
+#: required here once every sender already emits it unconditionally
+#: (the additive-evolution rule, DESIGN.md §15; pairs with the
+#: ``PROTOCOL_VERSION`` compatibility contract in §14).
+REQUIRED_FIELDS = {
+    "request": ("id", "kind"),
+    "response": ("id", "ok"),
+}
+
 _HEADER = struct.Struct(">I")
 
 
@@ -136,6 +146,7 @@ async def write_message(writer: asyncio.StreamWriter, obj: dict) -> None:
 __all__ = [
     "MAX_MESSAGE_BYTES",
     "PROTOCOL_VERSION",
+    "REQUIRED_FIELDS",
     "ProtocolError",
     "decode_payload",
     "encode_message",

@@ -316,8 +316,11 @@ class Server:
             )
         else:
             path = Path(self.socket_path)
-            path.parent.mkdir(parents=True, exist_ok=True)
+            # startup, before any connection is accepted: nothing is
+            # waiting on the loop yet, so inline path ops are harmless
+            path.parent.mkdir(parents=True, exist_ok=True)  # lint: disable=ASYNC001
             if path.exists():
+                # stale socket from a previous run  # lint: disable=ASYNC001
                 path.unlink()
             self._server = await asyncio.start_unix_server(
                 self._on_connection, path=str(path)
@@ -383,7 +386,9 @@ class Server:
             except (NotImplementedError, RuntimeError, ValueError):
                 pass
         self._signals_installed.clear()
-        self._write_metrics()
+        # mkdir + write_text; idle connections are still being served
+        # below, so even the shutdown flush stays off the loop.
+        await asyncio.to_thread(self._write_metrics)
         # Hang up on idle connections and reap their handler tasks so
         # nothing is left for loop teardown to cancel noisily.
         for writer in list(self._writers):
@@ -393,7 +398,9 @@ class Server:
             await asyncio.gather(*tuple(self._conn_tasks), return_exceptions=True)
         if self.config.host is None:
             try:
-                Path(self.socket_path).unlink()
+                # last statement of the drain: every request answered,
+                # every connection closed — nothing left to stall
+                Path(self.socket_path).unlink()  # lint: disable=ASYNC001
             except OSError:
                 pass
 
@@ -559,7 +566,8 @@ class Server:
                 payload, meta = await self._compute_in_thread(norm)
             self._apply_meta(meta)
             if self._journal is not None:
-                self._journal.record(key, payload)
+                # The journal fsyncs every line; keep it off the loop.
+                await asyncio.to_thread(self._journal.record, key, payload)
                 self._journal_results[key] = payload
             outcome = ("ok", payload)
         except RequestError as exc:
@@ -616,7 +624,7 @@ class Server:
             async with self._sem:
                 self._queued -= 1
                 admitted = True
-                wait = time.monotonic() - t0  # lint: disable=DET001
+                wait = time.monotonic() - t0  # queue-latency metric  # lint: disable=DET001
                 self._queue_waits.append(wait)
                 return await loop.run_in_executor(
                     self._executor, self._runner.run, norm
@@ -667,7 +675,7 @@ class Server:
             "protocol": PROTOCOL_VERSION,
             "results_version": RESULTS_VERSION,
             "pid": os.getpid(),
-            "uptime_s": time.monotonic() - self._t0,  # lint: disable=DET001
+            "uptime_s": time.monotonic() - self._t0,  # uptime metric  # lint: disable=DET001
             "draining": self._draining,
             "max_concurrency": self.config.max_concurrency,
             "block_memo": self.config.block_memo,

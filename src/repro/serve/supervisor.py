@@ -383,7 +383,7 @@ class WorkerSupervisor:
         )
         process.start()
         child_conn.close()
-        deadline = time.monotonic() + SPAWN_TIMEOUT  # lint: disable=DET001
+        deadline = time.monotonic() + SPAWN_TIMEOUT  # spawn watchdog  # lint: disable=DET001
         return _Worker(process, parent_conn, deadline)
 
     def _monitor(self) -> None:
@@ -405,7 +405,7 @@ class WorkerSupervisor:
                         )
             timeout = None
             if deadline is not None:
-                timeout = max(0.0, deadline - time.monotonic())  # lint: disable=DET001
+                timeout = max(0.0, deadline - time.monotonic())  # hang watchdog  # lint: disable=DET001
             ready = connection_wait(waitables, timeout)
             if self._wake_r in ready:
                 while self._wake_r.poll():
@@ -467,7 +467,7 @@ class WorkerSupervisor:
                 w.ready = True
                 w.deadline = None
             elif kind == "hb":
-                w.last_beat = time.monotonic()  # lint: disable=DET001
+                w.last_beat = time.monotonic()  # heartbeat clock  # lint: disable=DET001
                 if w.job is not None and self.config.hang_timeout is not None:
                     w.deadline = w.last_beat + self.config.hang_timeout
             elif kind in ("done", "reject", "fail"):
@@ -480,7 +480,7 @@ class WorkerSupervisor:
                     self._consecutive_respawns = 0
                     self.counters.jobs_completed += 1
                     elapsed = (
-                        time.monotonic() - job.enqueued_at  # lint: disable=DET001
+                        time.monotonic() - job.enqueued_at  # EWMA job-time metric  # lint: disable=DET001
                     )
                     self._avg_job_s = (
                         elapsed

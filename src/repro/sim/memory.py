@@ -294,6 +294,7 @@ class MemoryHierarchy:
                 else:
                     l2_misses += 1
                     if dram_addrs is None:
+                        # Allocated at most once per instruction.
                         dram_addrs = [a]  # lint: disable=HOT002
                     else:
                         dram_addrs.append(a)

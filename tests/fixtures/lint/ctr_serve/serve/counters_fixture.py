@@ -1,0 +1,29 @@
+"""Planted counter-parity violations (fixture, never imported).
+
+Expected findings: CTR001 x2.
+"""
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass
+class FixtureCounters:
+    served: int = 0
+    shed: int = 0
+    ghost: int = 0  # CTR001: declared (and flushed) but never updated
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class Daemon:
+    def __init__(self) -> None:
+        self.counters = FixtureCounters()
+
+    def on_request(self) -> None:
+        self.counters.served += 1
+
+    def on_shed(self) -> None:
+        c = self.counters
+        c.shed += 1
+        c.untracked += 1  # CTR001: updated but never flushed

@@ -1,0 +1,47 @@
+"""Planted fork-safety violations (fixture, never imported).
+
+Expected findings: FORK001 x4, FORK002 x1.
+"""
+
+import asyncio
+import multiprocessing
+import os
+import socket
+import threading
+
+COUNTER = 0
+_PARENT_PID: int | None = None
+
+
+def worker_unguarded(conn):
+    global COUNTER
+    COUNTER = 1  # FORK002: rebinds a module global, no pid guard
+
+
+def worker_guarded(conn):
+    global COUNTER
+    if os.getpid() == _PARENT_PID:
+        return
+    COUNTER = 2  # clean: parent-PID guard present
+
+
+def spawn():
+    lock = threading.Lock()
+    sock = socket.create_connection(("localhost", 1))
+    first = multiprocessing.Process(
+        target=worker_unguarded,
+        args=(lock,),  # FORK001: thread lock crosses the fork
+    )
+    second = multiprocessing.Process(
+        target=worker_guarded,
+        # FORK001 x2: open socket + inline asyncio primitive
+        args=(sock, asyncio.Event()),
+    )
+    return first, second
+
+
+def spawn_writer(writer: asyncio.StreamWriter):
+    return multiprocessing.Process(
+        target=worker_guarded,
+        args=(writer,),  # FORK001: loop-bound StreamWriter
+    )

@@ -1,0 +1,35 @@
+"""Planted message-protocol violations (fixture, never imported).
+
+Expected findings: MSG001 x4, MSG002 x1.
+"""
+
+REQUIRED_FIELDS = {
+    "request": ("id", "kind"),
+    "response": ("id", "ok"),
+}
+
+
+def send_request(sock, send_message):
+    msg = {"kind": "simulate"}  # MSG002: required "id" missing
+    send_message(sock, msg)
+
+
+def send_response(sock, send_message):
+    send_message(sock, {"id": 1, "ok": True, "result": {}})
+
+
+def handle(msg):
+    kind = msg.get("kind")
+    if kind == "simulate":
+        return msg.get("params")  # MSG001: "params" never sent
+    if kind == "render":  # MSG001: kind never produced
+        return msg["deadline"]  # MSG001: "deadline" never sent
+    return None
+
+
+def pump(conn):
+    conn.send(("ready", 1))
+    item = conn.recv()
+    if item[0] == "halt":  # MSG001: tag never sent
+        return True
+    return False

@@ -1,0 +1,37 @@
+"""Planted async-safety violations (fixture, never imported).
+
+Expected findings: ASYNC001 x5, ASYNC002 x1, ASYNC003 x1.
+"""
+
+import asyncio
+import time
+from pathlib import Path
+
+
+def flush_index(path: Path) -> None:
+    # A sync helper whose body blocks: calling it from an async def is
+    # the one-hop ASYNC001 case.
+    path.write_text("x")
+
+
+async def coro_helper() -> None:
+    await asyncio.sleep(0)
+
+
+class Daemon:
+    def __init__(self, journal):
+        self._journal = journal
+
+    def submit(self):
+        return None
+
+    async def handle(self) -> None:
+        time.sleep(0.1)  # ASYNC001: direct blocking call
+        fh = open("/tmp/fixture")  # ASYNC001: builtin open
+        fh.close()
+        self._journal.record("k", {})  # ASYNC001: persistent-store op
+        flush_index(Path("/tmp/fixture"))  # ASYNC001: one-hop helper
+        fut = self.submit()
+        fut.result()  # ASYNC001: Future.result
+        coro_helper()  # ASYNC002: coroutine never awaited
+        asyncio.create_task(coro_helper())  # ASYNC003: handle dropped

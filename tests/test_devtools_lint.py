@@ -4,6 +4,7 @@ built-in checkers (against planted-violation fixtures under
 parse cache, JSON output shape, and the CLI wiring."""
 
 import json
+import re
 from collections import Counter
 from pathlib import Path
 
@@ -23,6 +24,11 @@ SUPPRESSED_FILE = FIXTURES / "sim" / "det_suppressed.py"
 PROC_FILE = FIXTURES / "proc_violations.py"
 HOT_FILE = FIXTURES / "hot_violations.py"
 REGISTRY_FILE = FIXTURES / "sim" / "registry_fixture.py"
+ASYNC_FILE = FIXTURES / "serve" / "async_violations.py"
+ASYNC_SUPPRESSED = FIXTURES / "serve" / "async_suppressed.py"
+FORK_FILE = FIXTURES / "fork_violations.py"
+MSG_FILE = FIXTURES / "msg_serve" / "serve" / "wire.py"
+CTR_FILE = FIXTURES / "ctr_serve" / "serve" / "counters_fixture.py"
 
 
 def _lint(paths, tests_dir=None, **kwargs):
@@ -186,6 +192,174 @@ def test_oracle_parity_flags_uncovered_registrations():
 
 
 # ----------------------------------------------------------------------
+# Async-safety checker
+# ----------------------------------------------------------------------
+
+def test_async_safety_catches_planted_violations():
+    result = _lint([ASYNC_FILE], cache_path=None)
+    assert _rules(result) == Counter(
+        {"ASYNC001": 5, "ASYNC002": 1, "ASYNC003": 1}
+    )
+
+
+def test_async_safety_one_hop_helper_attributed_to_async_call_site():
+    result = _lint([ASYNC_FILE], cache_path=None)
+    hops = [f for f in result.findings if "sync helper" in f.message]
+    assert len(hops) == 1
+    assert "flush_index" in hops[0].message
+    source = ASYNC_FILE.read_text().splitlines()
+    assert "one-hop" in source[hops[0].line - 1]
+
+
+def test_async_safety_pragma_suppression():
+    assert not _lint([ASYNC_SUPPRESSED], cache_path=None).findings
+
+
+def test_async_blocking_rule_scoped_to_serve(tmp_path):
+    # The identical blocking async def outside serve/ is not flagged
+    # (nothing there owns a latency-critical event loop).
+    (tmp_path / "analysis").mkdir()
+    mod = tmp_path / "analysis" / "mod.py"
+    mod.write_text("import time\n\nasync def f():\n    time.sleep(1)\n")
+    result = run_lint(paths=[tmp_path], root=tmp_path, cache_path=None)
+    assert not result.findings
+
+
+def test_async_create_task_drop_fires_everywhere(tmp_path):
+    # ASYNC003 is per-file and unscoped: a dropped task handle is a bug
+    # wherever asyncio runs.
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "import asyncio\n\nasync def f():\n"
+        "    asyncio.create_task(asyncio.sleep(0))\n"
+    )
+    result = run_lint(paths=[mod], root=tmp_path, cache_path=None)
+    assert [f.rule for f in result.findings] == ["ASYNC003"]
+
+
+def test_async_ambiguous_helper_name_is_skipped(tmp_path):
+    # A bare name defined both sync-blocking and async in the package
+    # is ambiguous: the checker must stay silent (documented
+    # false-negative edge) rather than guess.
+    (tmp_path / "serve").mkdir()
+    (tmp_path / "serve" / "a.py").write_text(
+        "def flush(p):\n    p.write_text('x')\n"
+    )
+    (tmp_path / "serve" / "b.py").write_text(
+        "async def flush(p):\n    return None\n"
+    )
+    (tmp_path / "serve" / "c.py").write_text(
+        "async def h(p):\n    flush(p)\n"
+    )
+    result = run_lint(paths=[tmp_path], root=tmp_path, cache_path=None)
+    assert not [f for f in result.findings if f.rule == "ASYNC001"]
+
+
+# ----------------------------------------------------------------------
+# Fork-safety checker
+# ----------------------------------------------------------------------
+
+def test_fork_safety_catches_planted_violations():
+    result = _lint([FORK_FILE], cache_path=None)
+    assert _rules(result) == Counter({"FORK001": 4, "FORK002": 1})
+
+
+def test_fork_safety_guarded_worker_is_clean():
+    result = _lint([FORK_FILE], cache_path=None)
+    source = FORK_FILE.read_text().splitlines()
+    for f in result.findings:
+        assert "clean" not in source[f.line - 1], (
+            f"{f.rule} fired on a line documented as clean"
+        )
+
+
+def test_fork_safety_picklable_args_pass(tmp_path):
+    # Plain config values and pipe connections are the supported
+    # currency across the fork boundary.
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "import multiprocessing\n\n"
+        "def worker(conn, cfg):\n    conn.send(('ready', cfg))\n\n"
+        "def spawn(cfg):\n"
+        "    parent, child = multiprocessing.Pipe()\n"
+        "    return multiprocessing.Process(\n"
+        "        target=worker, args=(child, cfg)\n"
+        "    )\n"
+    )
+    result = run_lint(paths=[mod], root=tmp_path, cache_path=None)
+    assert not [f for f in result.findings if f.rule.startswith("FORK")]
+
+
+# ----------------------------------------------------------------------
+# Message-protocol checker
+# ----------------------------------------------------------------------
+
+def test_message_protocol_catches_planted_violations():
+    result = _lint([MSG_FILE], cache_path=None)
+    assert _rules(result) == Counter({"MSG001": 4, "MSG002": 1})
+    messages = " ".join(f.message for f in result.findings)
+    for token in ("'params'", "'deadline'", "'render'", "'halt'", "'id'"):
+        assert token in messages, token
+
+
+def test_message_protocol_send_site_covers_cross_file_recv(tmp_path):
+    # The pass is cross-file: a key sent in one serve/ module satisfies
+    # a read in another.
+    (tmp_path / "serve").mkdir()
+    (tmp_path / "serve" / "sender.py").write_text(
+        "def send(sock, send_message):\n"
+        '    send_message(sock, {"id": 1, "kind": "simulate", "params": {}})\n'
+    )
+    (tmp_path / "serve" / "receiver.py").write_text(
+        "def handle(msg):\n"
+        '    if msg.get("kind") == "simulate":\n'
+        '        return msg.get("params")\n'
+        "    return None\n"
+    )
+    result = run_lint(paths=[tmp_path], root=tmp_path, cache_path=None)
+    assert not [f for f in result.findings if f.rule.startswith("MSG")]
+
+
+def test_message_protocol_required_fields_constant_matches_wire():
+    # The production protocol module actually declares the contract the
+    # fixture mirrors.
+    from repro.serve.protocol import REQUIRED_FIELDS
+
+    assert REQUIRED_FIELDS == {
+        "request": ("id", "kind"),
+        "response": ("id", "ok"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Counter-parity checker
+# ----------------------------------------------------------------------
+
+def test_counter_parity_catches_planted_violations():
+    result = _lint([CTR_FILE], cache_path=None)
+    assert _rules(result) == Counter({"CTR001": 2})
+    messages = " ".join(f.message for f in result.findings)
+    assert "'ghost'" in messages and "'untracked'" in messages
+
+
+def test_counter_parity_asdict_flushes_whole_class(tmp_path):
+    # asdict(self) in any method exports every declared field, so a
+    # fully-updated bundle is clean.
+    (tmp_path / "serve").mkdir()
+    (tmp_path / "serve" / "mod.py").write_text(
+        "from dataclasses import asdict, dataclass\n\n"
+        "@dataclass\nclass PairCounters:\n"
+        "    hits: int = 0\n"
+        "    def as_dict(self):\n        return asdict(self)\n\n"
+        "class D:\n"
+        "    def __init__(self):\n        self.counters = PairCounters()\n"
+        "    def on_hit(self):\n        self.counters.hits += 1\n"
+    )
+    result = run_lint(paths=[tmp_path], root=tmp_path, cache_path=None)
+    assert not [f for f in result.findings if f.rule == "CTR001"]
+
+
+# ----------------------------------------------------------------------
 # Pragmas
 # ----------------------------------------------------------------------
 
@@ -257,6 +431,34 @@ def test_corrupt_or_missing_baseline_is_empty(tmp_path):
     assert not load_baseline(corrupt)
 
 
+def test_load_baseline_strict_raises(tmp_path):
+    from repro.devtools.lint.baseline import BaselineError
+
+    with pytest.raises(BaselineError, match="unreadable"):
+        load_baseline(tmp_path / "absent.json", strict=True)
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{not json")
+    with pytest.raises(BaselineError, match="unreadable"):
+        load_baseline(corrupt, strict=True)
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text('{"version": 99, "entries": {}}')
+    with pytest.raises(BaselineError, match="unsupported version"):
+        load_baseline(wrong, strict=True)
+
+
+def test_new_rules_interact_with_baseline(tmp_path):
+    # Concurrency-contract findings baseline exactly like the PR 5
+    # rules (line-number-free keys, count-capped).
+    first = _lint([ASYNC_FILE], cache_path=None)
+    assert len(first.findings) == 7
+    baseline = tmp_path / "lint-baseline.json"
+    write_baseline(baseline, first.findings)
+    second = _lint([ASYNC_FILE], baseline_path=baseline, cache_path=None)
+    assert not second.new
+    assert len(second.baselined) == 7
+    assert second.ok_against_baseline and not second.ok
+
+
 # ----------------------------------------------------------------------
 # Parse cache
 # ----------------------------------------------------------------------
@@ -282,6 +484,50 @@ def test_parse_cache_invalidated_by_edit(tmp_path):
     result = run_lint(paths=[src], root=tmp_path, cache_path=cache)
     assert result.cache_hits == 0
     assert not result.findings
+
+
+def test_project_cache_hits_and_dependency_invalidation(tmp_path):
+    """Satellite contract: project-checker cache entries are keyed on
+    the content hashes of *all* contributing files — editing a helper
+    the finding isn't even located in invalidates the entry."""
+    (tmp_path / "serve").mkdir()
+    helper = tmp_path / "serve" / "helpers.py"
+    helper.write_text("def flush(path):\n    path.write_text('x')\n")
+    daemon = tmp_path / "serve" / "daemon.py"
+    daemon.write_text("async def handle(path):\n    flush(path)\n")
+    cache = tmp_path / "cache.json"
+
+    first = run_lint(paths=[tmp_path], root=tmp_path, cache_path=cache)
+    assert [f.rule for f in first.findings] == ["ASYNC001"]
+    assert first.findings[0].path == "serve/daemon.py"
+    assert first.project_cache_hits == 0
+
+    second = run_lint(paths=[tmp_path], root=tmp_path, cache_path=cache)
+    assert second.cache_hits == 2
+    assert second.project_cache_hits > 0
+    assert [f.as_dict() for f in second.findings] == [
+        f.as_dict() for f in first.findings
+    ]
+
+    # De-fang the helper: daemon.py is untouched, yet the cross-file
+    # finding must disappear (a per-file-keyed cache would serve it
+    # stale from daemon.py's unchanged entry).
+    helper.write_text("def flush(path):\n    return None\n")
+    third = run_lint(paths=[tmp_path], root=tmp_path, cache_path=cache)
+    assert third.project_cache_hits == 0
+    assert not third.findings
+
+
+def test_project_cache_persisted_shape(tmp_path):
+    (tmp_path / "serve").mkdir()
+    (tmp_path / "serve" / "mod.py").write_text("x = 1\n")
+    cache = tmp_path / "cache.json"
+    run_lint(paths=[tmp_path], root=tmp_path, cache_path=cache)
+    data = json.loads(cache.read_text())
+    assert set(data) == {"version", "files", "project"}
+    assert "async-safety" in data["project"]
+    for entry in data["project"].values():
+        assert set(entry) == {"sha", "findings"}
 
 
 # ----------------------------------------------------------------------
@@ -316,6 +562,25 @@ def test_checker_selection_limits_rules():
     assert {f.rule for f in result.findings} == {
         "PROC001", "PROC002", "PROC003"
     }
+
+
+def test_rules_filter_family_prefix_and_exact_id():
+    result = _lint([DET_FILE, ASYNC_FILE], cache_path=None, rules=["ASYNC"])
+    assert set(_rules(result)) == {"ASYNC001", "ASYNC002", "ASYNC003"}
+    result = _lint(
+        [DET_FILE, ASYNC_FILE], cache_path=None, rules=["ASYNC003", "DET"]
+    )
+    rules = set(_rules(result))
+    assert "ASYNC003" in rules and "DET001" in rules
+    assert "ASYNC001" not in rules and "ASYNC002" not in rules
+
+
+def test_rules_filter_unknown_name_raises():
+    with pytest.raises(ValueError, match="unknown rule"):
+        _lint([DET_FILE], cache_path=None, rules=["NOPE"])
+    with pytest.raises(ValueError, match="unknown rule"):
+        # A prefix matching nothing is just as much of a typo.
+        _lint([DET_FILE], cache_path=None, rules=["ASYNC", "MSG9"])
 
 
 # ----------------------------------------------------------------------
@@ -354,9 +619,10 @@ def test_cli_json_output_shape(capsys):
     assert rc == 1
     payload = json.loads(capsys.readouterr().out)
     assert set(payload) == {
-        "version", "files_checked", "cache_hits", "errors", "counts",
-        "new", "baselined",
+        "schema", "version", "files_checked", "cache_hits",
+        "project_cache_hits", "errors", "counts", "new", "baselined",
     }
+    assert payload["schema"] == 1  # CI parses against this
     assert payload["files_checked"] == 1
     assert payload["counts"]["DET001"] == 1
     finding = payload["new"][0]
@@ -364,6 +630,44 @@ def test_cli_json_output_shape(capsys):
         "path", "line", "col", "rule", "message", "checker"
     }
     assert finding["path"] == "sim/det_violations.py"
+
+
+def test_cli_rules_filter(capsys):
+    rc = lint_main([
+        str(ASYNC_FILE), "--root", str(FIXTURES), "--no-parse-cache",
+        "--rules", "ASYNC003",
+    ])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "ASYNC003" in out and "ASYNC001" not in out
+
+
+def test_cli_unknown_rule_exits_2(capsys):
+    rc = lint_main([
+        str(ASYNC_FILE), "--root", str(FIXTURES), "--no-parse-cache",
+        "--rules", "BOGUS",
+    ])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown rule" in err and "BOGUS" in err
+
+
+def test_cli_unreadable_baseline_exits_2(tmp_path, capsys):
+    base_args = [
+        str(DET_FILE), "--root", str(FIXTURES), "--no-parse-cache",
+    ]
+    rc = lint_main(base_args + ["--baseline", str(tmp_path / "absent.json")])
+    assert rc == 2
+    assert "baseline" in capsys.readouterr().err
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{not json")
+    rc = lint_main(base_args + ["--baseline", str(corrupt)])
+    assert rc == 2
+    assert "baseline" in capsys.readouterr().err
+    # Auto-discovered (non-explicit) baselines stay lenient: findings
+    # exit 1, never a usage error.
+    assert lint_main(base_args) == 1
+    capsys.readouterr()
 
 
 def test_cli_write_baseline(tmp_path, capsys):
@@ -402,7 +706,16 @@ def test_repro_cli_lint_subcommand(capsys):
 def test_repository_tree_is_lint_clean():
     """ISSUE acceptance: ``repro lint`` reports zero non-baselined
     findings over ``src/repro`` (with the repo's own tests vouching
-    for oracle parity)."""
+    for oracle parity), and the concurrency-contract families are
+    registered and clean with zero baseline entries."""
+    from repro.devtools.lint.core import all_rules
+
+    registered = set(all_rules())
+    for rule in (
+        "ASYNC001", "ASYNC002", "ASYNC003", "FORK001", "FORK002",
+        "MSG001", "MSG002", "CTR001",
+    ):
+        assert rule in registered, f"{rule} not registered"
     result = run_lint(
         paths=[REPO_ROOT / "src" / "repro"],
         root=REPO_ROOT,
@@ -411,3 +724,32 @@ def test_repository_tree_is_lint_clean():
     )
     assert not result.errors
     assert not result.new, format_human(result)
+    # The concurrency rules must hold outright — never via baseline.
+    new_families = ("ASYNC", "FORK", "MSG", "CTR")
+    assert not [
+        f for f in result.findings if f.rule.startswith(new_families)
+    ], format_human(result)
+
+
+def test_src_pragmas_carry_reason_comments():
+    """Satellite contract: every suppression pragma in src/repro carries
+    a human reason — comment text before the pragma marker on the same
+    line, or an explanatory (non-pragma) comment on the line above.
+    The linter's own package is exempt: its docstrings document the
+    pragma syntax itself."""
+    offenders = []
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        if "devtools/lint" in path.as_posix():
+            continue
+        lines = path.read_text().splitlines()
+        for idx, line in enumerate(lines):
+            match = re.search(r"#\s*lint:\s*disable", line)
+            if match is None:
+                continue
+            before = line[: match.start()]
+            inline = "#" in before and before.split("#", 1)[1].strip()
+            prev = lines[idx - 1].strip() if idx else ""
+            above = prev.startswith("#") and "lint:" not in prev
+            if not (inline or above):
+                offenders.append(f"{path.name}:{idx + 1}: {line.strip()}")
+    assert not offenders, offenders

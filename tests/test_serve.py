@@ -494,3 +494,52 @@ class TestLifecycle:
 def start_tcp_server(tmp_path, **overrides) -> ServerThread:
     config = ServeConfig(cache_dir=str(tmp_path / "cache"), **overrides)
     return ServerThread.start(config)
+
+
+class TestEventLoopHygiene:
+    """Regression tests for the ASYNC001 fixes (lint PR): the fsync'd
+    journal write and the metrics flush are real disk work and must run
+    on executor threads, never on the ``repro-serve-loop`` thread."""
+
+    def test_journal_record_runs_off_loop_thread(self, serve_dir, monkeypatch):
+        from repro.exec.journal import SweepJournal
+
+        seen: list[str] = []
+        original = SweepJournal.record
+
+        def spy(self, key, payload):
+            seen.append(threading.current_thread().name)
+            return original(self, key, payload)
+
+        monkeypatch.setattr(SweepJournal, "record", spy)
+        with start_server(serve_dir, journal=True) as handle:
+            with ServeClient(handle.socket_path) as client:
+                client.simulate(KERNEL, scale=SCALE)
+                client.shutdown()
+        handle.stop()
+        assert seen, "journal.record was never reached"
+        assert all(name != "repro-serve-loop" for name in seen), seen
+
+    def test_metrics_flush_runs_off_loop_thread(self, serve_dir, monkeypatch):
+        import json
+
+        from repro.serve.server import Server
+
+        seen: list[str] = []
+        original = Server._write_metrics
+
+        def spy(self):
+            seen.append(threading.current_thread().name)
+            return original(self)
+
+        monkeypatch.setattr(Server, "_write_metrics", spy)
+        metrics = serve_dir / "metrics.json"
+        with start_server(serve_dir, metrics_json=str(metrics)) as handle:
+            with ServeClient(handle.socket_path) as client:
+                client.simulate(KERNEL, scale=SCALE)
+                client.shutdown()
+        handle.stop()
+        assert seen, "_write_metrics was never reached"
+        assert all(name != "repro-serve-loop" for name in seen), seen
+        # The flush still lands: same payload the operator reads.
+        assert json.loads(metrics.read_text())["counters"]["sims_run"] == 1
